@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain pytest underneath.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper paper props lint clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-paper:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only --bench-size=paper -q
+
+paper:
+	$(PYTHON) examples/reproduce_paper.py | tee paper_results.txt
+
+props:
+	$(PYTHON) -m pytest tests/test_properties.py tests/test_properties_rich.py -q
+
+clean:
+	rm -rf .pytest_cache .hypothesis build src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

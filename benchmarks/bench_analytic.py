@@ -1,0 +1,34 @@
+"""Benches for the analytic artifacts: Figure 5 (storage) and Figure 8
+(default parameters)."""
+
+from conftest import run_once
+
+
+class TestFig5Storage:
+    def test_fig5(self, benchmark):
+        result = run_once(benchmark, "fig5_storage", "paper")
+        print("\n" + result.render())
+        sram = dict(zip(result.column("scheme"),
+                        result.column("cache SRAM (MB)")))
+        dram = dict(zip(result.column("scheme"),
+                        result.column("memory DRAM (GB)")))
+        # Paper totals: directory 4 MB SRAM, TPI 64 MB SRAM, full-map
+        # ~64.5 GB DRAM, TPI no DRAM at all.
+        assert sram["full-map"] == 4.0
+        assert sram["two-phase invalidation"] == 64.0
+        assert 60.0 <= dram["full-map"] <= 70.0
+        assert dram["two-phase invalidation"] == 0.0
+        assert dram["LimitLess DIR_10"] < dram["full-map"] / 20
+
+
+class TestFig8Params:
+    def test_fig8(self, benchmark):
+        result = run_once(benchmark, "fig8_params", "paper")
+        print("\n" + result.render())
+        params = dict(result.rows)
+        assert params["number of processors"] == "16"
+        assert params["cache size"] == "64 KB, direct-mapped"
+        assert params["line size"] == "4 32-bit word"
+        assert params["cache line base miss latency"] == "100 CPU cycles"
+        assert params["timetag size"] == "8-bits"
+        assert params["two-phase reset"] == "128 cycles"

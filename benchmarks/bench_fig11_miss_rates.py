@@ -1,0 +1,18 @@
+"""Figure 11 — miss rates of BASE/SC/TPI/HW on the six benchmarks."""
+
+from conftest import run_once
+
+
+class TestFig11:
+    def test_miss_rate_ordering(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig11_miss_rates", bench_size)
+        print("\n" + result.render())
+        for row in result.rows:
+            name, base, sc, tpi, hw = row
+            # The paper's consistent ordering on every benchmark.
+            assert base >= sc >= tpi, f"{name}: BASE >= SC >= TPI violated"
+            assert tpi >= hw * 0.5, f"{name}: TPI implausibly below HW"
+            # "Comparable": TPI within a small factor of the directory,
+            # not the order-of-magnitude gap of SC/BASE.
+            assert tpi <= max(4.0 * hw, 5.0), f"{name}: TPI not comparable to HW"
+            assert base >= 2.0 * tpi, f"{name}: caching should crush BASE"

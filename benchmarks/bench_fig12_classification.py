@@ -1,0 +1,26 @@
+"""Miss decomposition — unnecessary misses: compiler conservatism (TPI)
+vs false sharing (HW)."""
+
+from conftest import run_once
+
+
+class TestFig12:
+    def test_unnecessary_miss_sources(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig12_classification", bench_size)
+        print("\n" + result.render())
+        per = {(row[0], row[1]): row for row in result.rows}
+        workloads = {row[0] for row in result.rows}
+        total_tpi = total_hw = 0.0
+        for name in workloads:
+            tpi = per[(name, "TPI")]
+            hw = per[(name, "HW")]
+            # Kind exclusivity: each scheme has exactly one unnecessary kind.
+            assert tpi[6] == "conservative"
+            assert hw[6] == "false sharing"
+            # Capacity-like misses agree (same cache geometry + stream).
+            assert abs(tpi[2] - hw[2]) <= max(tpi[2], hw[2]) * 0.5 + 5.0
+            total_tpi += tpi[5]
+            total_hw += hw[5]
+        # The paper's claim: comparable magnitudes overall (same order).
+        assert total_tpi > 0 and total_hw > 0
+        assert total_tpi <= 20 * total_hw and total_hw <= 20 * total_tpi

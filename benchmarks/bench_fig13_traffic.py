@@ -1,0 +1,26 @@
+"""Network traffic breakdown — write-through vs write-back vs coherence."""
+
+from conftest import run_once
+
+
+class TestFig13:
+    def test_traffic_classes(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig13_traffic", bench_size)
+        print("\n" + result.render())
+        per = {(row[0], row[1]): row for row in result.rows}
+        workloads = sorted({row[0] for row in result.rows})
+        write_ratio = {}
+        for name in workloads:
+            tpi = per[(name, "TPI")]
+            hw = per[(name, "HW")]
+            # Write-through produces write traffic; write-back (almost)
+            # none at these working-set sizes.
+            assert tpi[3] > hw[3], f"{name}: TPI write traffic must exceed HW"
+            # Coherence traffic exists only for the directory.
+            assert tpi[4] == 0 and per[(name, "SC")][4] == 0
+            assert hw[4] > 0
+            write_ratio[name] = tpi[3] / max(tpi[2], 1e-9)
+        # TRFD: among the most write-dominated TPI traffic mixes (its
+        # distinguishing *redundancy* is asserted by bench_fig17).
+        top_two = sorted(write_ratio.values(), reverse=True)[:2]
+        assert write_ratio["trfd"] in top_two

@@ -1,0 +1,19 @@
+"""Execution time normalized to the full-map directory."""
+
+from conftest import run_once
+
+
+class TestFig14:
+    def test_normalized_execution_time(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig14_exectime", bench_size)
+        print("\n" + result.render())
+        for row in result.rows:
+            name, base, sc, tpi, hw = row
+            assert hw == 1.0
+            # The headline: TPI comparable to the directory...
+            assert tpi <= 2.5, f"{name}: TPI not comparable to HW"
+            # ...while the schemes without runtime state trail far behind.
+            assert base >= tpi, f"{name}: BASE cannot beat TPI"
+            assert sc >= tpi * 0.9, f"{name}: SC cannot clearly beat TPI"
+        # On at least one benchmark TPI essentially matches (or beats) HW.
+        assert min(row[3] for row in result.rows) <= 1.3

@@ -1,0 +1,26 @@
+"""Line-size sweep: spatial locality vs false sharing."""
+
+from conftest import run_once
+
+
+class TestFig16:
+    def test_line_size_effects(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig16_linesize", bench_size)
+        print("\n" + result.render())
+        per = {(row[0], row[1]): row for row in result.rows}
+        workloads = sorted({row[0] for row in result.rows})
+        hw_false_grew = 0
+        for name in workloads:
+            tpi = per[(name, "TPI")]
+            hw = per[(name, "HW")]
+            # Single-word lines: no false sharing anywhere, by construction.
+            assert hw[6] == 0.0 and tpi[6] == 0.0
+            # TPI never false-shares at any line size.
+            assert tpi[7] == 0.0
+            # Going 1 word -> 4 words buys spatial locality for TPI.
+            assert tpi[3] <= tpi[2] + 0.01
+            if hw[7] > 0:
+                hw_false_grew += 1
+        # On several benchmarks the directory's false sharing appears at
+        # 64-byte lines (the paper's multi-word-line effect).
+        assert hw_false_grew >= 2

@@ -1,0 +1,16 @@
+"""Write-buffer-as-cache ablation (the paper's TRFD write-traffic fix)."""
+
+from conftest import run_once
+
+
+class TestFig17:
+    def test_coalescing_write_buffer(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig17_wbuffer", bench_size)
+        print("\n" + result.render())
+        reductions = dict(zip(result.column("workload"),
+                              result.column("reduction %")))
+        # Coalescing never increases traffic...
+        assert all(v >= -0.01 for v in reductions.values())
+        # ...and removes a large share of TRFD's redundant writes.
+        assert reductions["trfd"] >= 30.0
+        assert reductions["trfd"] == max(reductions.values())

@@ -1,0 +1,20 @@
+"""Section-5 task migration: safe marking + locality cost."""
+
+from conftest import run_once
+
+
+class TestFig18:
+    def test_migration_costs(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig18_migration", bench_size)
+        print("\n" + result.render())
+        for row in result.rows:
+            name, _plain, _mig, tpi_slow, hw_slow, extra_sites = row
+            # Correctness is enforced inside the simulation (oracle);
+            # here: migration never speeds things up...
+            assert tpi_slow >= 0.99 and hw_slow >= 0.99, name
+            # ...and costs TPI at least as much as the directory (the
+            # compiler loses the same-processor guarantee).
+            assert tpi_slow >= hw_slow - 0.05, name
+            assert extra_sites >= 0
+        # The safe marking really does add Time-Read sites somewhere.
+        assert any(row[5] > 0 for row in result.rows)

@@ -1,0 +1,22 @@
+"""Consistency-model ablation (footnote 11 of the paper)."""
+
+from conftest import run_once
+
+
+class TestFig19:
+    def test_sequential_consistency_costs(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig19_consistency", bench_size)
+        print("\n" + result.render())
+        tpi_worst = hw_worst = 0.0
+        for row in result.rows:
+            name, sc, tpi, hw = row
+            # Nothing gets faster under a stronger model.
+            assert sc >= 0.99 and tpi >= 0.99 and hw >= 0.99, name
+            tpi_worst = max(tpi_worst, tpi)
+            hw_worst = max(hw_worst, hw)
+        # The paper's footnote: write-through schemes are hit much harder
+        # by sequential consistency than the write-back directory.
+        assert tpi_worst > 1.5 * hw_worst
+        # On a majority of benchmarks TPI's slowdown exceeds HW's.
+        wins = sum(1 for row in result.rows if row[2] > row[3])
+        assert wins >= len(result.rows) // 2 + 1

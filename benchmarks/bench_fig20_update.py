@@ -1,0 +1,22 @@
+"""Write-update directory extension."""
+
+from conftest import run_once
+
+
+class TestFig20:
+    def test_update_protocol_tradeoff(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig20_update", bench_size)
+        print("\n" + result.render())
+        merged = {}
+        for row in result.rows:
+            name, hw_miss, upd_miss, hw_wr, upd_wr, updc_wr, merge_pct = row
+            # Updates never invalidate: the update protocol's miss rate is
+            # never worse than the invalidation directory's.
+            assert upd_miss <= hw_miss + 0.01, name
+            # ...and it pays for that in write/update traffic.
+            assert upd_wr > hw_wr * 0.9, name
+            merged[name] = merge_pct
+        # The paper's remark: the write-cache technique removes redundant
+        # update traffic — most effective on TRFD.
+        assert merged["trfd"] == max(merged.values())
+        assert merged["trfd"] > 20.0

@@ -1,0 +1,20 @@
+"""Cache geometry sweep."""
+
+from conftest import run_once
+
+
+class TestFig21:
+    def test_cache_sweep_shapes(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig21_cache", bench_size)
+        print("\n" + result.render())
+        capacity_cliffs = 0
+        for row in result.rows:
+            name, scheme, kb16, kb64, kb256, way4 = row
+            # Larger caches never hurt.
+            assert kb16 >= kb64 - 0.01 >= kb256 - 0.02, (name, scheme)
+            # 4-way at 64 KB never hurts vs direct-mapped at 64 KB.
+            assert way4 <= kb64 + 0.01, (name, scheme)
+            if kb16 > kb256 + 0.5:
+                capacity_cliffs += 1
+        # The enlarged working sets show real capacity misses somewhere.
+        assert capacity_cliffs >= 3

@@ -1,0 +1,24 @@
+"""Execution-time breakdown figure."""
+
+from conftest import run_once
+
+
+class TestFig22:
+    def test_breakdown_shapes(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig22_breakdown", bench_size)
+        print("\n" + result.render())
+        per = {(row[0], row[1]): row for row in result.rows}
+        workloads = sorted({row[0] for row in result.rows})
+        for name in workloads:
+            for scheme in ("BASE", "SC", "TPI", "HW"):
+                row = per[(name, scheme)]
+                total = sum(row[2:])
+                # The engine accounts every processor-cycle exactly once
+                # (write stalls are zero under weak consistency).
+                assert 99.0 <= total <= 100.5, (name, scheme, total)
+            # Busy fraction ordering: better schemes waste fewer cycles.
+            assert per[(name, "BASE")][2] <= per[(name, "TPI")][2] + 1.0
+            assert per[(name, "SC")][2] <= per[(name, "TPI")][2] + 1.0
+            # Read stalls dominate BASE's time.
+            base_row = per[(name, "BASE")]
+            assert base_row[3] > base_row[2]  # read_stall > busy

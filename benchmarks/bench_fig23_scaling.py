@@ -1,0 +1,24 @@
+"""Processor-count scaling curves (common BASE-at-P=1 baseline)."""
+
+from conftest import run_once
+
+
+class TestFig23:
+    def test_scaling_shapes(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig23_scaling", bench_size)
+        print("\n" + result.render())
+        per = {(row[0], row[1]): row for row in result.rows}
+        workloads = sorted({row[0] for row in result.rows})
+        for name in workloads:
+            base = per[(name, "BASE")]
+            tpi = per[(name, "TPI")]
+            hw = per[(name, "HW")]
+            assert base[2] == 1.0  # the common baseline itself
+            # The caching schemes dominate BASE at every processor count.
+            for col in range(2, 6):
+                assert tpi[col] >= base[col] * 0.95, (name, col)
+                assert hw[col] >= base[col] * 0.95, (name, col)
+            # Caching and parallelism compose for TPI: P=16 beats P=1.
+            assert tpi[4] > tpi[2]
+        # Parallel speedup is real somewhere: >= 6x over the shipped machine.
+        assert any(per[(name, "TPI")][4] >= 6.0 for name in workloads)

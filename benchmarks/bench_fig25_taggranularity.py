@@ -1,0 +1,17 @@
+"""Tag granularity ablation."""
+
+from conftest import run_once
+
+
+class TestFig25:
+    def test_per_word_tags_earn_their_storage(self, benchmark, bench_size):
+        result = run_once(benchmark, "fig25_taggranularity", bench_size)
+        print("\n" + result.render())
+        for row in result.rows:
+            name, w_miss, l_miss, ratio, w_cyc, l_cyc, slow = row
+            # The cheap layout never wins on misses or time...
+            assert l_miss >= w_miss - 0.01, name
+            assert slow >= 0.99, name
+        # ...and loses clearly somewhere (the reuse it forfeits is real).
+        assert any(row[3] >= 1.5 for row in result.rows)
+        assert any(row[6] >= 1.1 for row in result.rows)

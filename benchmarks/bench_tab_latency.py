@@ -1,0 +1,38 @@
+"""The average-miss-latency table (TPI vs HW, 16 B vs 64 B lines)."""
+
+from conftest import run_once
+
+
+class TestTabLatency:
+    def test_latency_shapes(self, benchmark, bench_size):
+        result = run_once(benchmark, "tab_latency", bench_size)
+        print("\n" + result.render())
+        tpi16 = result.column("TPI 16B")
+        tpi64 = result.column("TPI 64B")
+        hw16 = result.column("HW 16B")
+        hw64 = result.column("HW 64B")
+        names = result.column("workload")
+
+        # (a) TPI's latency is near-constant across workloads (its misses
+        # are plain memory fetches) — paper: 136.0..136.2.
+        assert max(tpi16) - min(tpi16) <= 0.1 * min(tpi16)
+        # ...and in the right ballpark of the paper's 136 cycles.
+        assert all(115 <= v <= 165 for v in tpi16)
+
+        # (b) HW never beats TPI on miss latency, and directory
+        # transactions visibly elevate HW's latency on several benchmarks
+        # (the paper sees the elevation on QCD2/TRFD; our synthetic
+        # kernels concentrate directory contention on FLO52/OCEAN instead
+        # — the mechanism, not the per-benchmark ranking, is the claim;
+        # see EXPERIMENTS.md).
+        gaps = {name: hw - tpi
+                for name, hw, tpi in zip(names, hw16, tpi16)}
+        assert all(gap >= -1.0 for gap in gaps.values())
+        assert sum(1 for gap in gaps.values() if gap > 2.0) >= 3
+        assert gaps["qcd2"] >= 0 and gaps["trfd"] >= 0
+
+        # (c) 64-byte lines cost a multiple of the 16-byte latency.
+        for t16, t64 in zip(tpi16, tpi64):
+            assert 1.5 * t16 <= t64 <= 4.0 * t16
+        for h16, h64 in zip(hw16, hw64):
+            assert h64 > h16

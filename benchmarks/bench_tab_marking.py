@@ -1,0 +1,24 @@
+"""Compiler marking statistics: the value of interprocedural analysis."""
+
+from conftest import run_once
+
+
+class TestTabMarking:
+    def test_analysis_precision_ordering(self, benchmark, bench_size):
+        result = run_once(benchmark, "tab_marking", bench_size)
+        print("\n" + result.render())
+        for row in result.rows:
+            name, sites, inline, summary, none, dyn_tr, tr_hit = row
+            assert sites > 0
+            # Precision ordering: the full analysis marks no more sites
+            # than the summary mode, which marks no more than the
+            # region-based (procedure-boundary-kill) mode.
+            assert inline <= summary + 1e-9, name
+            assert summary <= none + 1e-9, name
+            assert 0 < dyn_tr <= 100.0, name
+            # The timetag hardware recovers locality on every benchmark:
+            # a healthy share of Time-Reads hit in the cache.
+            assert tr_hit > 20.0, name
+        assert any(row[2] < row[4] for row in result.rows), \
+            "interprocedural analysis should pay off on some benchmark"
+        assert all(row[2] > 0 for row in result.rows)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Each bench regenerates one table/figure of the paper via
+``repro.experiments`` and asserts the *shape* claims the paper makes
+(who wins, by roughly what factor) — absolute numbers depend on the
+simulated substrate and are recorded in EXPERIMENTS.md instead.
+
+``--bench-size=paper`` runs the evaluation-scale workloads (slower);
+the default ``small`` keeps the suite quick.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--bench-size", action="store", default="small",
+                     choices=("small", "paper"),
+                     help="workload size preset for the benchmark suite")
+
+
+@pytest.fixture(scope="session")
+def bench_size(request):
+    return request.config.getoption("--bench-size")
+
+
+def run_once(benchmark, experiment, size):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    from repro.experiments import run_experiment
+
+    return benchmark.pedantic(run_experiment, args=(experiment,),
+                              kwargs={"size": size},
+                              iterations=1, rounds=1)

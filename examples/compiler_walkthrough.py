@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Walk through the compiler analyses on a program with every interesting
+feature: cross-epoch staleness, same-epoch dependences, intra-task reuse,
+procedure calls, critical sections, and an induction scalar.
+
+Run:  python examples/compiler_walkthrough.py
+"""
+
+from repro import InterprocMode, MarkingOptions, ProgramBuilder, RefMark, mark_program
+from repro.compiler.epochs import build_epoch_graph
+from repro.compiler.interproc import procedure_summaries
+
+
+def build():
+    n = 16
+    b = ProgramBuilder("walkthrough", params={"T": 3})
+    b.array("A", (n,))
+    b.array("B", (n,))
+    b.array("hist", (4,))
+    refs = {}
+
+    with b.procedure("scale_b"):
+        # A pure-serial callee: interprocedural analysis keeps its reads
+        # from forcing whole-cache invalidation at the call site.
+        refs["callee_read"] = b.at("B", 0)
+        b.stmt(reads=[refs["callee_read"]], writes=[b.at("B", 0)], work=1)
+
+    with b.procedure("main"):
+        with b.doall("i", 0, n - 1, label="produce") as i:
+            b.stmt(writes=[b.at("A", i)], work=1)
+        with b.serial("t", 0, b.p("T") - 1):
+            with b.doall("j", 1, n - 1, label="consume") as j:
+                refs["neighbour"] = b.at("A", j - 1)  # cross-iteration
+                refs["own_prev"] = b.at("A", j)       # written below
+                b.stmt(reads=[refs["neighbour"]], writes=[b.at("B", j)],
+                       work=2)
+                b.stmt(writes=[b.at("A", j)], reads=[refs["own_prev"]],
+                       work=1)
+                refs["after_write"] = b.at("A", j)    # validated by the write
+                b.stmt(reads=[refs["after_write"]], writes=[b.at("B", j)],
+                       work=1)
+                with b.critical("hlock"):
+                    refs["critical"] = b.at("hist", 0)
+                    b.stmt(reads=[refs["critical"]],
+                           writes=[b.at("hist", 0)], work=1)
+            b.call("scale_b")
+    return b.build(), refs
+
+
+def describe(marking, refs):
+    for name, ref in sorted(refs.items()):
+        mark = marking.tpi_mark(ref.site)
+        flavor = ""
+        if mark is RefMark.TIME_READ:
+            flavor = " (strict)" if marking.is_strict(ref.site) else " (timestamp)"
+        print(f"  {name:<13} {ref}  ->  {mark.value}{flavor}")
+
+
+def main():
+    program, refs = build()
+
+    graph = build_epoch_graph(program)
+    print("epoch flow graph:")
+    for epoch in graph.epochs:
+        kind = "parallel" if epoch.parallel else "serial"
+        succ = sorted(graph.succ[epoch.id])
+        print(f"  epoch {epoch.id} [{kind:8s}] {epoch.label or '(loop header)':<22} -> {succ}")
+    print()
+
+    print("marking decisions (full interprocedural analysis):")
+    marking = mark_program(program)
+    describe(marking, refs)
+    print(f"  stats: {marking.stats['sites.time_read.tpi']} Time-Read sites, "
+          f"{marking.stats['sites.strict']} strict\n")
+
+    print("ablation: no interprocedural analysis (procedure-boundary kill):")
+    none_mode = mark_program(program,
+                             opts=MarkingOptions(interproc=InterprocMode.NONE))
+    describe(none_mode, refs)
+    print()
+
+    print("interprocedural MOD/USE summaries:")
+    for name, summary in procedure_summaries(program).items():
+        mods = {a: str(s.union_all()) for a, s in summary.mod.items()}
+        print(f"  {name:<12} MOD {mods}")
+
+
+if __name__ == "__main__":
+    main()

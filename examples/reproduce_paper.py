@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Run:  python examples/reproduce_paper.py [--small] [experiment ...]
+
+Without arguments, runs all experiments at the paper-scale workload sizes
+(a few minutes); ``--small`` uses the quick test sizes.  Results print as
+the tables the paper reports, each with the shape claims it must satisfy.
+"""
+
+import sys
+import time
+
+from repro import experiment_ids, run_experiment
+
+
+def main():
+    args = [a for a in sys.argv[1:]]
+    size = "paper"
+    if "--small" in args:
+        size = "small"
+        args.remove("--small")
+    targets = args or experiment_ids()
+
+    for experiment in targets:
+        start = time.time()
+        result = run_experiment(experiment, size=size)
+        print(result.render())
+        print(f"[{experiment}: {time.time() - start:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Design-space sensitivity study on one workload (OCEAN by default):
+timetag width, line size, cache size, scheduling policy, and write-buffer
+organization.
+
+Run:  python examples/sensitivity_study.py [workload]
+"""
+
+import sys
+
+from repro import (
+    CacheConfig,
+    SchedulePolicy,
+    TpiConfig,
+    TrafficClass,
+    WriteBufferKind,
+    build_workload,
+    default_machine,
+    prepare,
+    simulate,
+)
+
+
+def row(label, result):
+    write = result.traffic.get(TrafficClass.WRITE, 0)
+    print(f"  {label:<28} cycles={result.exec_cycles:>9}  "
+          f"miss={100 * result.miss_rate:6.2f}%  "
+          f"misslat={result.avg_miss_latency:6.1f}  "
+          f"writes={write:>8}  resets={result.resets}")
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "ocean"
+    program = build_workload(name)
+    base = default_machine()
+    print(f"sensitivity study on {name} (TPI unless noted)\n")
+
+    print("timetag width (two-phase reset frequency halves per extra bit):")
+    for bits in (2, 3, 4, 6, 8):
+        machine = base.with_(tpi=TpiConfig(timetag_bits=bits))
+        row(f"k={bits}", simulate(prepare(program, machine), "tpi"))
+
+    print("\nline size (spatial locality vs per-word tag cost):")
+    for words in (1, 4, 8, 16):
+        machine = base.with_(cache=CacheConfig(line_words=words))
+        row(f"{words * 4}-byte lines TPI",
+            simulate(prepare(program, machine), "tpi"))
+        row(f"{words * 4}-byte lines HW",
+            simulate(prepare(program, machine), "hw"))
+
+    print("\ncache size:")
+    for kb in (16, 64, 256):
+        machine = base.with_(cache=CacheConfig(size_bytes=kb * 1024))
+        row(f"{kb} KB", simulate(prepare(program, machine), "tpi"))
+
+    print("\nscheduling policy (locality of the iteration->processor map):")
+    for policy in SchedulePolicy:
+        machine = base.with_(schedule=policy)
+        row(policy.value, simulate(prepare(program, machine), "tpi"))
+
+    print("\nwrite buffer organization:")
+    for kind in WriteBufferKind:
+        machine = base.with_(write_buffer=kind)
+        row(kind.value, simulate(prepare(program, machine), "tpi"))
+
+
+if __name__ == "__main__":
+    main()

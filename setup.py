@@ -1,0 +1,17 @@
+"""Legacy setup shim: the sandbox has no `wheel` package, so editable
+installs must go through `setup.py develop` instead of PEP 517."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Choi & Yew (ISCA 1996): Two-Phase Invalidation "
+        "hardware-supported compiler-directed cache coherence"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

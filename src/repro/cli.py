@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``list``
+    Show available workloads, schemes, and experiments.
+``show <workload>``
+    Print the (marking-annotated) source listing of a workload.
+``simulate <workload> [--scheme ...] [--procs N] [--size small|default]``
+    Run one or more schemes over a workload and print result summaries.
+``experiment <id>|all [--size small|paper] [--json PATH] [--chart COLUMN]``
+    Regenerate a paper table/figure.
+``sweep <workload> --axis name=v1,v2,... [--scheme ...]``
+    Grid study over machine parameters (axes: line, size, k, procs, wbuf).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.coherence import SCHEME_NAMES
+from repro.common.config import default_machine
+from repro.compiler import mark_program
+from repro.experiments import experiment_ids, run_experiment
+from repro.ir.pprint import format_program
+from repro.sim import prepare, simulate
+from repro.workloads import build_workload, workload_names
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Choi & Yew (ISCA 1996) cache-coherence reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, schemes, experiments")
+
+    show = sub.add_parser("show", help="print a workload's marked listing")
+    show.add_argument("workload", choices=workload_names())
+    show.add_argument("--size", default="small", choices=("small", "default"))
+    show.add_argument("--no-marking", action="store_true",
+                      help="omit Time-Read annotations")
+
+    simp = sub.add_parser("simulate", help="simulate schemes on a workload")
+    simp.add_argument("workload", choices=workload_names())
+    simp.add_argument("--scheme", action="append", choices=SCHEME_NAMES,
+                      help="repeatable; default: base sc tpi hw")
+    simp.add_argument("--procs", type=int, default=16)
+    simp.add_argument("--size", default="default", choices=("small", "default"))
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("experiment", choices=[*experiment_ids(), "all"])
+    exp.add_argument("--size", default="small", choices=("small", "paper"))
+    exp.add_argument("--json", metavar="PATH",
+                     help="also write the result table(s) as JSON")
+    exp.add_argument("--chart", metavar="COLUMN",
+                     help="also print an ASCII bar chart of one column")
+
+    swp = sub.add_parser("sweep", help="grid study over machine parameters")
+    swp.add_argument("workload", choices=workload_names())
+    swp.add_argument("--axis", action="append", required=True,
+                     metavar="NAME=V1,V2,...",
+                     help="axes: line=<words>, size=<KB>, k=<bits>, "
+                          "procs=<N>, wbuf (no values); repeatable")
+    swp.add_argument("--scheme", action="append", choices=SCHEME_NAMES,
+                     help="repeatable; default: tpi hw")
+    swp.add_argument("--size", default="small",
+                     choices=("small", "default", "large"))
+    return parser
+
+
+def _cmd_list() -> int:
+    print("workloads:  " + " ".join(workload_names()))
+    print("schemes:    " + " ".join(SCHEME_NAMES))
+    print("experiments:")
+    for experiment in experiment_ids():
+        print(f"  {experiment}")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    program = build_workload(args.workload, size=args.size)
+    marking = None if args.no_marking else mark_program(program)
+    print(format_program(program, marking))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    schemes = args.scheme or ["base", "sc", "tpi", "hw"]
+    machine = default_machine().with_(n_procs=args.procs)
+    run = prepare(build_workload(args.workload, size=args.size), machine)
+    for scheme in schemes:
+        print(simulate(run, scheme).summary())
+        print()
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import json as _json
+
+    targets = experiment_ids() if args.experiment == "all" else [args.experiment]
+    collected = []
+    for experiment in targets:
+        result = run_experiment(experiment, size=args.size)
+        print(result.render())
+        if args.chart:
+            print()
+            print(result.render_bars(args.chart))
+        print()
+        collected.append(result.to_dict())
+    if args.json:
+        with open(args.json, "w") as handle:
+            _json.dump(collected if len(collected) > 1 else collected[0],
+                       handle, indent=2)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.sim.sweep import (
+        Sweep,
+        axis_cache_lines,
+        axis_cache_sizes,
+        axis_procs,
+        axis_timetag_bits,
+        axis_write_buffer,
+    )
+
+    makers = {
+        "line": lambda values: axis_cache_lines([int(v) for v in values]),
+        "size": lambda values: axis_cache_sizes([int(v) for v in values]),
+        "k": lambda values: axis_timetag_bits([int(v) for v in values]),
+        "procs": lambda values: axis_procs([int(v) for v in values]),
+        "wbuf": lambda values: axis_write_buffer(),
+    }
+    sweep = Sweep(build_workload(args.workload, size=args.size),
+                  schemes=tuple(args.scheme or ("tpi", "hw")))
+    for spec in args.axis:
+        name, _, raw = spec.partition("=")
+        if name not in makers:
+            raise SystemExit(f"unknown axis {name!r}; choose from {sorted(makers)}")
+        values = [v for v in raw.split(",") if v]
+        sweep.add_axis(name, makers[name](values))
+    points = sweep.run()
+    label_names = [name for name, _ in sweep._axes]
+    header = "  ".join(f"{n:>8}" for n in label_names)
+    print(f"{header}  {'scheme':>7}  {'cycles':>9}  {'miss %':>7}  {'misslat':>8}")
+    for point in points:
+        labels = "  ".join(f"{point.labels[n]:>8}" for n in label_names)
+        r = point.result
+        print(f"{labels}  {point.scheme:>7}  {r.exec_cycles:>9}  "
+              f"{100 * r.miss_rate:>7.2f}  {r.avg_miss_latency:>8.1f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "list": lambda: _cmd_list(),
+        "show": lambda: _cmd_show(args),
+        "simulate": lambda: _cmd_simulate(args),
+        "experiment": lambda: _cmd_experiment(args),
+        "sweep": lambda: _cmd_sweep(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The coherence schemes the paper compares.
+
+=============  ==============================================================
+``base``       no caching of shared data; every shared access is remote
+``sc``         software cache-bypass: marked reads always go to memory
+``tpi``        Two-Phase Invalidation (the paper's contribution)
+``hw``         full-map directory, 3-state MSI invalidation, write-back
+``limitless``  LimitLess DIR_i directory with software-handled overflow
+``update``     write-update directory (Firefly/Dragon-style), extension
+=============  ==============================================================
+"""
+
+from repro.coherence.api import AccessResult, CoherenceScheme, SimContext, make_scheme
+from repro.coherence.base import BaseScheme
+from repro.coherence.sc import SoftwareBypassScheme
+from repro.coherence.tpi import TpiScheme
+from repro.coherence.directory import FullMapDirectoryScheme
+from repro.coherence.limitless import LimitLessScheme
+from repro.coherence.update import UpdateDirectoryScheme
+
+SCHEME_NAMES = ("base", "sc", "tpi", "hw", "limitless", "update")
+
+__all__ = [
+    "AccessResult",
+    "BaseScheme",
+    "CoherenceScheme",
+    "FullMapDirectoryScheme",
+    "LimitLessScheme",
+    "SCHEME_NAMES",
+    "SimContext",
+    "SoftwareBypassScheme",
+    "TpiScheme",
+    "UpdateDirectoryScheme",
+    "make_scheme",
+]

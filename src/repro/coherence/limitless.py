@@ -1,0 +1,29 @@
+"""LimitLess directory (DIR_i NB-style) [2].
+
+Identical to the full-map protocol except that each directory entry has only
+``i`` hardware pointers; when a line has more than ``i`` sharers, directory
+operations on it trap to software on the home node, adding a fixed latency
+to the transaction.  The storage model (Figure 5 of the paper) is in
+``repro.overhead.storage``; this functional model lets the LimitLess scheme
+participate in the performance experiments too.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.directory import FullMapDirectoryScheme
+
+
+class LimitLessScheme(FullMapDirectoryScheme):
+    name = "limitless"
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.pointers = ctx.machine.directory.limitless_pointers
+        self.trap_cycles = ctx.machine.directory.overflow_trap_cycles
+        self.software_traps = 0
+
+    def _overflow_penalty(self, n_sharers: int) -> int:
+        if n_sharers > self.pointers:
+            self.software_traps += 1
+            return self.trap_cycles
+        return 0

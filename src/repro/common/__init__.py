@@ -1,0 +1,43 @@
+"""Shared infrastructure: configuration, statistics, errors."""
+
+from repro.common.config import (
+    CacheConfig,
+    ConsistencyModel,
+    DirectoryConfig,
+    MachineConfig,
+    NetworkConfig,
+    SchedulePolicy,
+    TpiConfig,
+    WriteBufferKind,
+    default_machine,
+)
+from repro.common.errors import (
+    CompilationError,
+    ConfigError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.common.stats import Counter, MissKind, TrafficClass
+
+__all__ = [
+    "CacheConfig",
+    "ConsistencyModel",
+    "CompilationError",
+    "ConfigError",
+    "Counter",
+    "DirectoryConfig",
+    "MachineConfig",
+    "MissKind",
+    "NetworkConfig",
+    "ProtocolError",
+    "ReproError",
+    "SchedulePolicy",
+    "SimulationError",
+    "TpiConfig",
+    "TrafficClass",
+    "ValidationError",
+    "WriteBufferKind",
+    "default_machine",
+]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine / scheme / simulation configuration."""
+
+
+class ValidationError(ReproError):
+    """A structurally invalid IR program (bad ranks, unknown symbols, ...)."""
+
+
+class CompilationError(ReproError):
+    """A failure inside the compiler analyses (e.g. unsupported recursion)."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency detected while simulating a trace."""
+
+
+class ProtocolError(SimulationError):
+    """A coherence-protocol invariant was violated during simulation.
+
+    This is always a bug in a scheme implementation, never a user error;
+    the simulator checks protocol invariants continuously.
+    """

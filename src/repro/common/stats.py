@@ -1,0 +1,72 @@
+"""Counters and classification enums shared across the simulator."""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+class MissKind(enum.Enum):
+    """Why a cache access missed (or why a shared access went remote).
+
+    ``TRUE_SHARING`` misses are necessary to maintain coherence; the two
+    ``UNNECESSARY_*`` kinds are the avoidable ones the paper compares:
+    hardware directories suffer false sharing on multi-word lines, while the
+    compiler-directed schemes suffer from conservative compile-time marking.
+    """
+
+    HIT = "hit"
+    COLD = "cold"
+    REPLACEMENT = "replacement"  # capacity / conflict
+    TRUE_SHARING = "true_sharing"
+    FALSE_SHARING = "false_sharing"  # HW: Tullsen-Eggers classification
+    CONSERVATIVE = "conservative"  # TPI/SC: compiler was conservative
+    RESET = "reset"  # TPI: invalidated by a two-phase reset
+    UNCACHED = "uncached"  # BASE: shared data is never cached
+
+    @property
+    def is_miss(self) -> bool:
+        return self is not MissKind.HIT
+
+    @property
+    def is_unnecessary(self) -> bool:
+        """Misses that a perfect oracle would have avoided."""
+        return self in (MissKind.FALSE_SHARING, MissKind.CONSERVATIVE)
+
+
+class TrafficClass(enum.Enum):
+    """Network traffic categories (read / write / coherence), in flits."""
+
+    READ = "read"
+    WRITE = "write"
+    COHERENCE = "coherence"
+
+
+@dataclass
+class Counter:
+    """A bundle of named integer counters with dict-like convenience.
+
+    >>> c = Counter()
+    >>> c.add("reads", 2); c.add("reads")
+    >>> c["reads"]
+    3
+    """
+
+    values: dict = field(default_factory=lambda: defaultdict(int))
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.values[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+    def merge(self, other: "Counter") -> None:
+        for name, amount in other.values.items():
+            self.values[name] += amount
+
+    def as_dict(self) -> dict:
+        return dict(self.values)
+
+    def total(self, prefix: str = "") -> int:
+        return sum(v for k, v in self.values.items() if k.startswith(prefix))

@@ -1,0 +1,37 @@
+"""Compiler analyses: the Polaris-substrate passes plus the paper's
+stale-reference marking algorithm (Time-Read insertion).
+
+Pipeline (see :func:`repro.compiler.marking.mark_program`):
+
+1. epoch partitioning + epoch flow graph (``epochs``);
+2. symbolic range analysis of affine subscripts (``ranges``, ``ssa``);
+3. bounded regular section descriptors per access (``sections``);
+4. dependence tests between DOALL iterations (``dependence``);
+5. interprocedural MOD/USE summaries (``callgraph``, ``interproc``);
+6. the marking pass itself (``marking``), with per-benchmark statistics
+   (``report``).
+"""
+
+from repro.compiler.marking import (
+    InterprocMode,
+    Marking,
+    MarkingOptions,
+    RefMark,
+    mark_program,
+)
+from repro.compiler.epochs import EpochGraph, StaticEpoch, build_epoch_graph
+from repro.compiler.sections import RegularSection
+from repro.compiler.report import marking_report
+
+__all__ = [
+    "EpochGraph",
+    "InterprocMode",
+    "Marking",
+    "MarkingOptions",
+    "RefMark",
+    "RegularSection",
+    "StaticEpoch",
+    "build_epoch_graph",
+    "mark_program",
+    "marking_report",
+]

@@ -1,0 +1,54 @@
+"""Procedure call graph and bottom-up traversal order.
+
+The paper's interprocedural analysis scans the call graph bottom-up,
+propagating each procedure's side effects to its callers.  The validator has
+already rejected recursion, so a reverse topological order always exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.common.errors import CompilationError
+from repro.ir.program import Call, Program, walk
+
+
+def call_edges(program: Program) -> Dict[str, Set[str]]:
+    """Caller -> set of callees, for every defined procedure."""
+    edges: Dict[str, Set[str]] = {name: set() for name in program.procedures}
+    for name, proc in program.procedures.items():
+        for node in walk(proc.body):
+            if isinstance(node, Call):
+                edges[name].add(node.callee)
+    return edges
+
+
+def bottom_up_order(program: Program) -> List[str]:
+    """Procedures ordered so every callee precedes its callers."""
+    edges = call_edges(program)
+    order: List[str] = []
+    state: Dict[str, int] = {}  # 0 visiting, 1 done
+
+    def visit(name: str) -> None:
+        if state.get(name) == 1:
+            return
+        if state.get(name) == 0:
+            raise CompilationError(f"recursion detected at procedure {name!r}")
+        state[name] = 0
+        for callee in sorted(edges[name]):
+            visit(callee)
+        state[name] = 1
+        order.append(name)
+
+    for name in sorted(program.procedures):
+        visit(name)
+    return order
+
+
+def callers_of(program: Program) -> Dict[str, Set[str]]:
+    """Callee -> set of callers (inverse call graph)."""
+    inverse: Dict[str, Set[str]] = {name: set() for name in program.procedures}
+    for caller, callees in call_edges(program).items():
+        for callee in callees:
+            inverse[callee].add(caller)
+    return inverse

@@ -1,0 +1,112 @@
+"""Dependence tests between accesses of one parallel epoch.
+
+Given a write W and a read R inside the same DOALL, the marking pass needs
+to know whether a *different* iteration's W can touch the element R reads.
+Symbols bound inside the epoch (the DOALL index, inner serial-loop indices,
+weakened task-local scalars) are renamed apart between the two accesses —
+each task has its own instances — while parameters and outer serial-loop
+indices are shared.
+
+Per dimension we then test the equation ``W_sub(vars1) - R_sub(vars2) = 0``
+with three classic conservative tests:
+
+* **Banerjee range test** — if 0 lies outside the interval of the LHS the
+  dimension (hence the pair) is :data:`Relation.DISJOINT`;
+* **GCD test** — if gcd of the variable coefficients does not divide the
+  constant, also DISJOINT;
+* **same-iteration forcing** — a dimension of the form ``a*(i1 - i2) = 0``
+  with ``a != 0`` forces the two accesses into the same iteration, giving
+  :data:`Relation.SAME_ITER_ONLY` (no cross-iteration conflict).
+
+Anything else is :data:`Relation.MAY_CONFLICT`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Iterable, Set, Tuple
+
+from repro.compiler.ranges import Interval, RangeEnv, interval_add, interval_scale
+from repro.ir.expr import Affine
+
+
+class Relation(enum.Enum):
+    DISJOINT = "disjoint"  # no iteration pair touches a common element
+    SAME_ITER_ONLY = "same_iter_only"  # common elements only within one task
+    MAY_CONFLICT = "may_conflict"  # a cross-iteration conflict is possible
+
+
+_SUFFIX_1 = "#1"
+_SUFFIX_2 = "#2"
+
+
+def _rename(expr: Affine, epoch_syms: Set[str], suffix: str) -> Affine:
+    subst = {s: Affine.var(s + suffix) for s in expr.symbols if s in epoch_syms}
+    return expr.substitute(subst) if subst else expr
+
+
+def _interval_of(expr: Affine, env: RangeEnv, epoch_syms: Set[str]) -> Interval:
+    """Interval of a renamed expression (renamed vars share the base range)."""
+    result: Interval = (expr.const, expr.const)
+    for symbol, coeff in expr.terms:
+        base = symbol
+        for suffix in (_SUFFIX_1, _SUFFIX_2):
+            if symbol.endswith(suffix):
+                base = symbol[: -len(suffix)]
+                break
+        result = interval_add(result, interval_scale(env.lookup(base), coeff))
+    return result
+
+
+def _dim_relation(w_sub: Affine, r_sub: Affine, doall_index: str,
+                  epoch_syms: Set[str], env: RangeEnv) -> Relation:
+    w = _rename(w_sub, epoch_syms, _SUFFIX_1)
+    r = _rename(r_sub, epoch_syms, _SUFFIX_2)
+    diff = w - r
+
+    if diff.is_constant:
+        return Relation.DISJOINT if diff.const != 0 else Relation.MAY_CONFLICT
+
+    # Banerjee range test: can the difference be zero at all?
+    lo, hi = _interval_of(diff, env, epoch_syms)
+    if (lo is not None and lo > 0) or (hi is not None and hi < 0):
+        return Relation.DISJOINT
+
+    # GCD test.
+    coeffs = [c for _, c in diff.terms]
+    g = 0
+    for c in coeffs:
+        g = math.gcd(g, abs(c))
+    if g and diff.const % g:
+        return Relation.DISJOINT
+
+    # Same-iteration forcing: diff == a*(i#1 - i#2), a != 0.
+    i1, i2 = doall_index + _SUFFIX_1, doall_index + _SUFFIX_2
+    terms = dict(diff.terms)
+    if (diff.const == 0 and set(terms) == {i1, i2}
+            and terms[i1] == -terms[i2] and terms[i1] != 0):
+        return Relation.SAME_ITER_ONLY
+
+    return Relation.MAY_CONFLICT
+
+
+def doall_relation(w_subs: Tuple[Affine, ...], r_subs: Tuple[Affine, ...],
+                   doall_index: str, epoch_syms: Iterable[str],
+                   env: RangeEnv) -> Relation:
+    """Relation between a write's and a read's subscripts inside one DOALL.
+
+    Subscripts must already be scalar-resolved.  ``epoch_syms`` are the
+    symbols private to a task (the DOALL index, inner loop indices, weakened
+    task-local scalars); ``env`` provides intervals for every symbol.
+    """
+    syms = set(epoch_syms)
+    syms.add(doall_index)
+    saw_same_iter = False
+    for w_sub, r_sub in zip(w_subs, r_subs):
+        rel = _dim_relation(w_sub, r_sub, doall_index, syms, env)
+        if rel is Relation.DISJOINT:
+            return Relation.DISJOINT
+        if rel is Relation.SAME_ITER_ONLY:
+            saw_same_iter = True
+    return Relation.SAME_ITER_ONLY if saw_same_iter else Relation.MAY_CONFLICT

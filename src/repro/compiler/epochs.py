@@ -1,0 +1,430 @@
+"""Epoch partitioning and the epoch flow graph (EFG).
+
+The paper's execution model divides a parallelized program into *epochs*:
+each DOALL loop is one parallel epoch; maximal stretches of serial code
+between DOALLs form serial epochs (which execute on the master processor).
+The compiler analyses run over the **epoch flow graph** [21]: nodes are
+static epochs, edges are possible control-flow successions, including loop
+back-edges, so that "a write in epoch e' may precede a read in epoch e"
+becomes graph reachability.
+
+Construction statically inlines procedure calls that contain DOALLs (the
+call graph is acyclic), and keeps pure-serial calls as opaque nodes inside
+their enclosing serial epoch.  Serial loops that contain DOALLs are *opened*:
+they contribute an (empty) loop-header epoch, their body's epochs, and a
+back-edge.  Scalar values are tracked across the walk with the GSA-lite
+environment (:mod:`repro.compiler.ssa`), and every epoch records a snapshot
+of the scalar/range environments at its entry for later per-epoch analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import CompilationError
+from repro.compiler.ranges import RangeEnv
+from repro.compiler.ssa import ScalarEnv
+from repro.ir.expr import Affine
+from repro.ir.program import (
+    Call,
+    CriticalSection,
+    If,
+    Loop,
+    Node,
+    Program,
+    ScalarAssign,
+    walk,
+)
+
+
+def proc_contains_doall(program: Program, name: str,
+                        memo: Optional[Dict[str, bool]] = None) -> bool:
+    """Does a procedure (transitively) contain a DOALL loop?"""
+    memo = memo if memo is not None else {}
+    if name in memo:
+        return memo[name]
+    memo[name] = False
+    result = False
+    for node in walk(program.procedures[name].body):
+        if isinstance(node, Loop) and node.parallel:
+            result = True
+            break
+        if isinstance(node, Call) and proc_contains_doall(program, node.callee, memo):
+            result = True
+            break
+    memo[name] = result
+    return result
+
+
+def node_contains_doall(program: Program, node: Node,
+                        memo: Optional[Dict[str, bool]] = None) -> bool:
+    """Does a single node (transitively) contain a DOALL loop?
+
+    Used identically by the compiler's partitioner and the trace generator,
+    so static epoch boundaries and dynamic epoch boundaries always agree.
+    """
+    memo = memo if memo is not None else {}
+    if isinstance(node, Loop) and node.parallel:
+        return True
+    if isinstance(node, Call):
+        return proc_contains_doall(program, node.callee, memo)
+    if isinstance(node, (Loop, CriticalSection)):
+        return any(node_contains_doall(program, n, memo) for n in node.body)
+    if isinstance(node, If):
+        return any(node_contains_doall(program, n, memo)
+                   for n in (*node.then, *node.els))
+    return False
+
+
+@dataclass(frozen=True)
+class LoopCtx:
+    """An *opened* serial loop enclosing an epoch (bounds already resolved)."""
+
+    index: str
+    lo: Affine
+    hi: Affine
+    step: int
+
+
+@dataclass
+class StaticEpoch:
+    """A node of the epoch flow graph.
+
+    For a parallel epoch ``nodes`` is the single DOALL loop; for a serial
+    epoch it is the run of serial nodes it comprises (possibly empty for
+    loop-header join points).  ``scalars``/``ranges`` snapshot the symbolic
+    environment at epoch entry.
+    """
+
+    id: int
+    parallel: bool
+    nodes: Tuple[Node, ...]
+    outer: Tuple[LoopCtx, ...]
+    scalars: ScalarEnv
+    ranges: RangeEnv
+    origin_proc: str
+    label: str = ""
+
+    @property
+    def doall(self) -> Optional[Loop]:
+        return self.nodes[0] if self.parallel else None  # type: ignore[return-value]
+
+    @property
+    def write_key(self) -> Optional[int]:
+        """Identity key linking this static epoch to its dynamic instances.
+
+        The trace generator computes the same key (the identity of the
+        epoch's first node) for every dynamic epoch, so the runtime can
+        apply the compiler-emitted per-epoch W-register updates.  Inlined
+        procedure bodies share node objects across call sites, which is
+        harmless: the static epochs then have identical write sets.
+        """
+        return id(self.nodes[0]) if self.nodes else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "P" if self.parallel else "S"
+        return f"<epoch {self.id}{kind} {self.label or self.origin_proc}>"
+
+
+class EpochGraph:
+    """Static epochs plus successor edges; supports may-precede queries
+    and minimum epoch-distance queries (for Time-Read windows)."""
+
+    def __init__(self) -> None:
+        self.epochs: List[StaticEpoch] = []
+        self.succ: Dict[int, Set[int]] = {}
+        self.entry: Optional[int] = None
+        self._closure: Optional[Dict[int, Set[int]]] = None
+        self._dist: Dict[int, Dict[int, int]] = {}
+
+    def add_epoch(self, epoch: StaticEpoch) -> None:
+        self.epochs.append(epoch)
+        self.succ.setdefault(epoch.id, set())
+        self._closure = None
+        self._dist = {}
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.succ.setdefault(src, set()).add(dst)
+        self._closure = None
+        self._dist = {}
+
+    def reach(self, src: int, dst: int) -> bool:
+        """May an execution of ``src`` strictly precede one of ``dst``?
+
+        Reachability through at least one edge; ``reach(e, e)`` is true iff
+        ``e`` lies on a cycle (a loop re-executes it).
+        """
+        if self._closure is None:
+            self._closure = self._compute_closure()
+        return dst in self._closure.get(src, set())
+
+    def _compute_closure(self) -> Dict[int, Set[int]]:
+        closure: Dict[int, Set[int]] = {}
+        order = sorted(self.succ)
+        for start in order:
+            seen: Set[int] = set()
+            stack = list(self.succ[start])
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(self.succ.get(node, ()))
+            closure[start] = seen
+        return closure
+
+    def _is_header(self, epoch_id: int) -> bool:
+        epoch = self.epochs[epoch_id]
+        return not epoch.parallel and not epoch.nodes
+
+    def distance(self, src: int, dst: int) -> Optional[int]:
+        """Minimum number of epoch boundaries crossed getting from ``src``
+        to ``dst`` (``None`` if unreachable).
+
+        Loop-header epochs (empty serial join points) are structural only —
+        the runtime never enters them, so they cost 0; every other epoch
+        entered on the path, including ``dst`` itself, costs 1.  This is a
+        *lower bound* on the dynamic epoch-counter difference between an
+        execution of ``src`` and a later execution of ``dst``, which is what
+        makes it a safe Time-Read window.  ``distance(e, e)`` is the
+        shortest cycle through ``e`` (None if not on a cycle).
+        """
+        if src not in self._dist:
+            self._dist[src] = self._zero_one_bfs(src)
+        return self._dist[src].get(dst)
+
+    def _zero_one_bfs(self, src: int) -> Dict[int, int]:
+        from collections import deque
+
+        best: Dict[int, int] = {}
+        queue = deque()
+        for succ in self.succ.get(src, ()):
+            cost = 0 if self._is_header(succ) else 1
+            queue.append((cost, succ))
+        while queue:
+            cost, node = queue.popleft()
+            if node in best and best[node] <= cost:
+                continue
+            best[node] = cost
+            for succ in self.succ.get(node, ()):
+                step = 0 if self._is_header(succ) else 1
+                nxt = cost + step
+                if succ not in best or best[succ] > nxt:
+                    if step == 0:
+                        queue.appendleft((nxt, succ))
+                    else:
+                        queue.append((nxt, succ))
+        return best
+
+    @property
+    def parallel_epochs(self) -> List[StaticEpoch]:
+        return [e for e in self.epochs if e.parallel]
+
+
+class _Partitioner:
+    """Single walk over the (inlined) program producing the EFG."""
+
+    def __init__(self, program: Program, param_env: Dict[str, int]):
+        self.program = program
+        self.graph = EpochGraph()
+        self.scalars = ScalarEnv()
+        self.ranges = RangeEnv.from_params(param_env)
+        self.buffer: List[Node] = []
+        self.buffer_snapshot: Optional[Tuple[ScalarEnv, Dict]] = None
+        self.last: Set[int] = set()
+        self.outer: List[LoopCtx] = []
+        self.proc_stack: List[str] = []
+        self._doall_memo: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------- driving
+
+    def run(self) -> EpochGraph:
+        self.proc_stack.append(self.program.entry)
+        self._body(self.program.procedures[self.program.entry].body)
+        self._flush()
+        if not self.graph.epochs:
+            self._new_epoch(parallel=False, nodes=(), label="empty program")
+        return self.graph
+
+    def _body(self, nodes: Tuple[Node, ...]) -> None:
+        for node in nodes:
+            self._node(node)
+
+    def _node(self, node: Node) -> None:
+        if isinstance(node, Loop) and node.parallel:
+            self._parallel_epoch(node)
+        elif isinstance(node, Loop) and node_contains_doall(self.program, node,
+                                                            self._doall_memo):
+            self._opened_loop(node)
+        elif isinstance(node, If) and node_contains_doall(self.program, node,
+                                                          self._doall_memo):
+            self._opened_if(node)
+        elif isinstance(node, Call) and proc_contains_doall(self.program, node.callee,
+                                                            self._doall_memo):
+            self._flush()
+            self.proc_stack.append(node.callee)
+            self._body(self.program.procedures[node.callee].body)
+            self.proc_stack.pop()
+        else:
+            self._buffer_node(node)
+
+    # ------------------------------------------------------- serial buffer
+
+    def _buffer_node(self, node: Node) -> None:
+        if not self.buffer:
+            self.buffer_snapshot = (self.scalars.copy(), self._flat_ranges())
+        self.buffer.append(node)
+        self._apply_effects(node)
+
+    def _flush(self) -> None:
+        if not self.buffer:
+            return
+        scalars, ranges = self.buffer_snapshot  # type: ignore[misc]
+        self._new_epoch(parallel=False, nodes=tuple(self.buffer),
+                        scalars=scalars, ranges=ranges,
+                        label=f"serial@{self.proc_stack[-1]}")
+        self.buffer = []
+        self.buffer_snapshot = None
+
+    # ------------------------------------------------------------ regions
+
+    def _parallel_epoch(self, loop: Loop) -> None:
+        self._flush()
+        self._new_epoch(parallel=True, nodes=(loop,),
+                        label=loop.label or f"doall {loop.index}@{self.proc_stack[-1]}")
+        # Scalars assigned inside the DOALL body are task-local temporaries;
+        # after the epoch their (master-visible) values are unknown.
+        trips = self.ranges.max_trip_count(self.scalars.resolve(loop.lo),
+                                           self.scalars.resolve(loop.hi), loop.step)
+        self.scalars.weaken_loop_body(loop.body, trips, self.ranges)
+
+    def _opened_loop(self, loop: Loop) -> None:
+        self._flush()
+        head = self._new_epoch(parallel=False, nodes=(),
+                               label=f"head {loop.index}@{self.proc_stack[-1]}")
+        lo = self.scalars.resolve(loop.lo)
+        hi = self.scalars.resolve(loop.hi)
+        trips = self.ranges.max_trip_count(lo, hi, loop.step)
+        self.ranges = self.ranges.child()
+        self.ranges.bind(loop.index, self.ranges.loop_range(lo, hi, loop.step))
+        self.scalars.weaken_loop_body(loop.body, trips, self.ranges)
+        self.outer.append(LoopCtx(loop.index, lo, hi, loop.step))
+        self._body(loop.body)
+        self._flush()
+        for src in self.last:
+            self.graph.add_edge(src, head.id)  # back edge
+        self.outer.pop()
+        self.ranges = self.ranges.parent  # type: ignore[assignment]
+        self.last = {head.id}
+
+    def _opened_if(self, node: If) -> None:
+        self._flush()
+        fork = set(self.last)
+        saved_scalars = self.scalars.copy()
+
+        self.ranges = self.ranges.child()
+        self._body(node.then)
+        self._flush()
+        then_last = set(self.last)
+        then_scalars, self.scalars = self.scalars, saved_scalars.copy()
+        then_ranges = self.ranges
+        self.ranges = then_ranges.parent.child()  # type: ignore[union-attr]
+
+        self.last = set(fork)
+        self._body(node.els)
+        self._flush()
+        else_last = set(self.last)
+        else_scalars = self.scalars
+        else_ranges = self.ranges
+        self.ranges = else_ranges.parent  # type: ignore[assignment]
+
+        merged = saved_scalars.copy()
+        merged.merge_branches(then_scalars, else_scalars,
+                              then_ranges, else_ranges, self.ranges)
+        self.scalars = merged
+        self.last = (then_last or fork) | (else_last or fork)
+
+    # ------------------------------------------------------------- helpers
+
+    def _new_epoch(self, parallel: bool, nodes: Tuple[Node, ...],
+                   scalars: Optional[ScalarEnv] = None,
+                   ranges: Optional[Dict] = None, label: str = "") -> StaticEpoch:
+        snapshot_scalars = scalars if scalars is not None else self.scalars.copy()
+        snapshot_ranges = ranges if ranges is not None else self._flat_ranges()
+        epoch = StaticEpoch(
+            id=len(self.graph.epochs), parallel=parallel, nodes=nodes,
+            outer=tuple(self.outer), scalars=snapshot_scalars,
+            ranges=RangeEnv(snapshot_ranges),
+            origin_proc=self.proc_stack[-1], label=label)
+        self.graph.add_epoch(epoch)
+        for src in self.last:
+            self.graph.add_edge(src, epoch.id)
+        if self.graph.entry is None:
+            self.graph.entry = epoch.id
+        self.last = {epoch.id}
+        return epoch
+
+    def _flat_ranges(self) -> Dict:
+        flat: Dict = {}
+        chain = []
+        env: Optional[RangeEnv] = self.ranges
+        while env is not None:
+            chain.append(env)
+            env = env.parent
+        for env in reversed(chain):
+            flat.update(env.bindings)
+        return flat
+
+    def _apply_effects(self, node: Node) -> None:
+        """Propagate scalar effects of a node buffered into a serial epoch."""
+        if isinstance(node, ScalarAssign):
+            self.scalars.assign(node, self.ranges)
+        elif isinstance(node, Loop):
+            lo = self.scalars.resolve(node.lo)
+            hi = self.scalars.resolve(node.hi)
+            trips = self.ranges.max_trip_count(lo, hi, node.step)
+            self.scalars.weaken_loop_body(node.body, trips, self.ranges)
+        elif isinstance(node, If):
+            saved = self.scalars.copy()
+            then_ranges = self.ranges.child()
+            then_env = saved.copy()
+            _apply_branch(self, then_env, then_ranges, node.then)
+            else_ranges = self.ranges.child()
+            else_env = saved.copy()
+            _apply_branch(self, else_env, else_ranges, node.els)
+            merged = saved.copy()
+            merged.merge_branches(then_env, else_env, then_ranges, else_ranges,
+                                  self.ranges)
+            self.scalars = merged
+        elif isinstance(node, CriticalSection):
+            for inner in node.body:
+                self._apply_effects(inner)
+        elif isinstance(node, Call):
+            self.proc_stack.append(node.callee)
+            for inner in self.program.procedures[node.callee].body:
+                self._apply_effects(inner)
+            self.proc_stack.pop()
+        # Statements have no scalar effects.
+
+
+def _apply_branch(part: _Partitioner, env: ScalarEnv, ranges: RangeEnv,
+                  nodes: Tuple[Node, ...]) -> None:
+    """Apply scalar effects of a branch body into the given environments."""
+    saved_scalars, saved_ranges = part.scalars, part.ranges
+    part.scalars, part.ranges = env, ranges
+    try:
+        for node in nodes:
+            part._apply_effects(node)
+    finally:
+        part.scalars, part.ranges = saved_scalars, saved_ranges
+
+
+def build_epoch_graph(program: Program,
+                      params: Optional[Dict[str, int]] = None) -> EpochGraph:
+    """Partition a program into static epochs and build its EFG."""
+    env = program.bind_params(params)
+    graph = _Partitioner(program, env).run()
+    if graph.entry is None:  # pragma: no cover - run() guarantees an epoch
+        raise CompilationError("epoch graph has no entry")
+    return graph

@@ -1,0 +1,91 @@
+"""Interprocedural MOD/USE side-effect summaries.
+
+For each procedure, the summary records which sections of which shared
+arrays the procedure (including its callees) may write (MOD) and read (USE).
+Summaries are computed bottom-up over the call graph; since procedures
+communicate only through global arrays, a callee's summary folds into its
+caller unchanged.
+
+The marking pass proper analyses statically-inlined bodies (more precise);
+these summaries serve the ``SUMMARY`` ablation mode, the per-benchmark
+compiler report, and API users who want side-effect information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.compiler.callgraph import bottom_up_order
+from repro.compiler.marking import MarkingOptions, _WalkBase
+from repro.compiler.epochs import StaticEpoch
+from repro.compiler.ranges import RangeEnv
+from repro.compiler.sections import RegularSection, SectionList
+from repro.compiler.ssa import ScalarEnv
+from repro.ir.expr import Affine
+from repro.ir.program import ArrayRef, Program, Sharing
+from typing import Tuple
+
+
+@dataclass
+class ProcedureSummary:
+    """MOD/USE section lists of one procedure, shared arrays only."""
+
+    name: str
+    mod: Dict[str, SectionList] = field(default_factory=dict)
+    use: Dict[str, SectionList] = field(default_factory=dict)
+
+    def record(self, array: str, section: RegularSection, is_write: bool) -> None:
+        target = self.mod if is_write else self.use
+        target.setdefault(array, SectionList(array)).add(section)
+
+    def merge(self, other: "ProcedureSummary") -> None:
+        for source, target in ((other.mod, self.mod), (other.use, self.use)):
+            for array, sections in source.items():
+                bucket = target.setdefault(array, SectionList(array))
+                for section in sections.sections:
+                    bucket.add(section)
+
+
+class _SummaryWalker(_WalkBase):
+    """Collects MOD/USE sections of one procedure body.
+
+    Reuses the epoch-body walker by wrapping the procedure body in a
+    synthetic serial "epoch".  The base walker descends into DOALL loops
+    exactly like serial ones, which is what a MOD/USE summary wants: only
+    the touched sections matter, not the parallelism.
+    """
+
+    def __init__(self, program: Program, proc_name: str,
+                 params: Dict[str, int]):
+        body = program.procedures[proc_name].body
+        pseudo = StaticEpoch(
+            id=-1, parallel=False, nodes=body, outer=(),
+            scalars=ScalarEnv(), ranges=RangeEnv.from_params(params),
+            origin_proc=proc_name)
+        super().__init__(program, pseudo, MarkingOptions())
+        self.summary = ProcedureSummary(proc_name)
+
+    def visit_ref(self, ref: ArrayRef, is_write: bool,
+                  subs: Tuple[Affine, ...], section: RegularSection) -> None:
+        if self.program.arrays[ref.array].sharing is Sharing.PRIVATE:
+            return
+        self.summary.record(ref.array, section, is_write)
+
+
+def procedure_summaries(program: Program,
+                        params: Optional[Dict[str, int]] = None
+                        ) -> Dict[str, ProcedureSummary]:
+    """MOD/USE summaries for every procedure, bottom-up over the call graph.
+
+    Note the walker inlines callees itself, so each summary is already
+    transitively closed; the bottom-up order is kept for the classic
+    presentation (and so the per-procedure cost is paid once in tests).
+    """
+    env = program.bind_params(params)
+    summaries: Dict[str, ProcedureSummary] = {}
+    for name in bottom_up_order(program):
+        walker = _SummaryWalker(program, name, env)
+        walker.run()
+        summaries[name] = walker.summary
+    return summaries

@@ -1,0 +1,663 @@
+"""Stale-reference marking: the paper's central compiler algorithm.
+
+A *stale reference sequence* [35] is: (1) processor ``P_i`` reads or writes
+location ``x`` in epoch ``e1`` and caches it; (2) another processor writes
+``x`` in a later epoch ``e2``; (3) ``P_i`` reads ``x`` in epoch ``e3 > e2``.
+Every read that can terminate such a sequence must be marked **Time-Read**;
+all other reads stay ordinary reads and may hit on any valid cached copy.
+
+The pass runs in three phases over the epoch flow graph:
+
+1. **Collect** — per epoch, the MOD/USE regular sections and the list of
+   write occurrences (for same-epoch dependence tests);
+2. **Propagate** — per epoch, the *stale sources*: sections written in
+   epochs that may precede it and whose writer may be a different processor
+   than the reader.  Serial epochs all execute on the master processor, so
+   serial-writer -> serial-reader pairs are excluded (unless task migration
+   is allowed, Section 5 of the paper);
+3. **Decide** — a structured walk of each epoch body marks every shared
+   read site, maintaining a *validated set* so that reads dominated within
+   the same task by a write (or, for TPI, by an earlier Time-Read) of the
+   same element are downgraded to ordinary reads — this exploits intra-task
+   temporal reuse exactly as the paper's reference-marking algorithm does.
+
+Two decision maps are produced from the one analysis: one for TPI (where a
+Time-Read itself validates the word via its timetag) and one for the
+software cache-bypass scheme SC (where a bypassing read does *not* validate,
+so only writes can downgrade later reads).
+
+Interprocedural behaviour is selectable (:class:`InterprocMode`):
+``INLINE`` analyses statically-inlined call bodies at full precision;
+``SUMMARY`` widens callee accesses to whole-array sections and kills the
+validated set at call boundaries; ``NONE`` models the pre-TPI schemes that
+invalidate the whole cache at procedure boundaries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import CompilationError
+from repro.compiler.dependence import Relation, doall_relation
+from repro.compiler.epochs import EpochGraph, StaticEpoch, build_epoch_graph
+from repro.compiler.ranges import RangeEnv, interval_union
+from repro.compiler.sections import RegularSection, SectionList, section_of, whole_array_section
+from repro.ir.expr import Affine
+from repro.ir.program import (
+    ArrayRef,
+    Call,
+    CriticalSection,
+    If,
+    Loop,
+    Node,
+    Program,
+    ScalarAssign,
+    Sharing,
+    Statement,
+)
+
+
+class RefMark(enum.Enum):
+    READ = "read"
+    TIME_READ = "time_read"
+
+
+class InterprocMode(enum.Enum):
+    INLINE = "inline"
+    SUMMARY = "summary"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class MarkingOptions:
+    """Knobs for the marking analysis (ablation axes of the paper).
+
+    ``assume_no_migration=False`` (Section 5 of the paper) surrenders every
+    piece of reasoning that depends on knowing which processor executes
+    what: serial epochs may leave the master, and a task's own earlier
+    accesses may have happened on a different processor, so same-iteration
+    dependences become cross-processor and intra-task validation downgrades
+    are disabled.  (The migrating runtime is assumed to drain the source
+    processor's write buffer at the migration point, a release fence.)
+    """
+
+    interproc: InterprocMode = InterprocMode.INLINE
+    intra_task_reuse: bool = True
+    assume_no_migration: bool = True
+
+
+@dataclass
+class Marking:
+    """Per-site decisions for the two compiler-directed schemes.
+
+    Two Time-Read flavours are distinguished (both are one hardware
+    instruction with a mode bit):
+
+    * **strict** (``site in strict_sites``) — a concurrent task may write
+      the word in the *same* epoch; the hardware may only hit on a copy the
+      task itself produced this epoch (timetag == R);
+    * **timestamp** (the default) — no same-epoch writer is possible; the
+      hardware hits iff the word was validated strictly after the array's
+      last-possibly-writing epoch, read from the per-array W register:
+      ``(R - tag) mod 2^k <= min(R - W[array], 2^k - 1)``.
+
+    ``epoch_writes`` carries the compiler-emitted epoch-epilogue updates:
+    for each static epoch (keyed by :attr:`StaticEpoch.write_key`), the
+    shared arrays the epoch may write, with a *racy* flag when two
+    different iterations may write the same element (then W is set one
+    epoch higher, so even the writers' own copies are distrusted).
+    """
+
+    tpi: Dict[int, RefMark]
+    sc: Dict[int, RefMark]
+    graph: EpochGraph
+    strict_sites: Set[int] = field(default_factory=set)
+    epoch_writes: Dict[int, Dict[str, bool]] = field(default_factory=dict)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def tpi_mark(self, site: int) -> RefMark:
+        return self.tpi.get(site, RefMark.READ)
+
+    def sc_mark(self, site: int) -> RefMark:
+        return self.sc.get(site, RefMark.READ)
+
+    def is_strict(self, site: int) -> bool:
+        return site in self.strict_sites
+
+
+# --------------------------------------------------------------------------
+# Phase 1: per-epoch collection
+
+
+@dataclass
+class _WriteOcc:
+    array: str
+    subs: Tuple[Affine, ...]
+    section: RegularSection
+
+
+@dataclass
+class _EpochInfo:
+    mod: Dict[str, SectionList] = field(default_factory=dict)
+    writes: List[_WriteOcc] = field(default_factory=list)
+    epoch_syms: Set[str] = field(default_factory=set)
+    epoch_ranges: Dict[str, Tuple] = field(default_factory=dict)
+    racy_arrays: Set[str] = field(default_factory=set)
+
+    def add_write(self, occ: _WriteOcc) -> None:
+        self.mod.setdefault(occ.array, SectionList(occ.array)).add(occ.section)
+        self.writes.append(occ)
+
+    def detect_races(self, doall_index: str, dep_env,
+                     same_iter_is_race: bool = False) -> None:
+        """Cross-iteration write-write conflicts (illegal-DOALL guard).
+
+        A legal DOALL never has two iterations writing one element, but the
+        analysis cannot always prove legality; arrays with a possible
+        write-write conflict get their W register bumped past the epoch so
+        that even the writers' own copies are re-fetched afterwards.
+
+        With ``same_iter_is_race`` (task migration allowed), even two
+        writes of the *same iteration* to one element count: a migrated
+        task's halves run on different processors, so the first writer's
+        cached copy can be stale while still carrying the writing epoch's
+        timetag.
+        """
+        by_array: Dict[str, List[_WriteOcc]] = {}
+        for occ in self.writes:
+            by_array.setdefault(occ.array, []).append(occ)
+        for array, occs in by_array.items():
+            if array in self.racy_arrays:
+                continue
+            found = False
+            for i, w1 in enumerate(occs):
+                for w2 in occs[i:]:
+                    if not w1.section.overlaps(w2.section):
+                        continue
+                    rel = doall_relation(w1.subs, w2.subs, doall_index,
+                                         self.epoch_syms, dep_env)
+                    if rel is Relation.MAY_CONFLICT:
+                        found = True
+                        break
+                    if rel is Relation.SAME_ITER_ONLY and same_iter_is_race:
+                        found = True
+                        break
+                if found:
+                    break
+            if found:
+                self.racy_arrays.add(array)
+
+
+class _WalkBase:
+    """Structured walk of one epoch body with scalar/range tracking.
+
+    Epoch bodies never contain DOALLs (the partitioner split there), so the
+    walk only handles serial constructs; calls are inlined (the validator
+    guarantees an acyclic call graph).
+    """
+
+    def __init__(self, program: Program, epoch: StaticEpoch,
+                 opts: MarkingOptions):
+        self.program = program
+        self.epoch = epoch
+        self.opts = opts
+        self.scalars = epoch.scalars.copy()
+        self.ranges = RangeEnv(dict(epoch.ranges.bindings))
+        self.in_critical = 0
+        self.inline_depth = 0
+
+    # hook -----------------------------------------------------------------
+    def visit_ref(self, ref: ArrayRef, is_write: bool,
+                  subs: Tuple[Affine, ...], section: RegularSection) -> None:
+        raise NotImplementedError
+
+    def enter_loop(self, loop: Loop) -> None:
+        pass
+
+    def exit_loop(self, loop: Loop) -> None:
+        pass
+
+    def enter_branch(self) -> object:
+        return None
+
+    def merge_branches_hook(self, then_state: object, else_state: object,
+                            saved: object) -> None:
+        pass
+
+    def enter_critical(self) -> None:
+        pass
+
+    def exit_critical(self) -> None:
+        pass
+
+    def at_call_boundary(self) -> None:
+        pass
+
+    # driving ----------------------------------------------------------------
+    def run(self) -> None:
+        if self.epoch.parallel:
+            loop = self.epoch.doall
+            assert loop is not None
+            lo = self.scalars.resolve(loop.lo)
+            hi = self.scalars.resolve(loop.hi)
+            self.ranges.bind(loop.index,
+                             self.ranges.loop_range(lo, hi, loop.step))
+            self.note_epoch_sym(loop.index)
+            self._body(loop.body)
+        else:
+            self._body(self.epoch.nodes)
+
+    def note_epoch_sym(self, symbol: str) -> None:
+        pass
+
+    def _body(self, nodes: Tuple[Node, ...]) -> None:
+        for node in nodes:
+            self._node(node)
+
+    def _node(self, node: Node) -> None:
+        if isinstance(node, Statement):
+            for ref in node.reads:
+                self._ref(ref, is_write=False)
+            for ref in node.writes:
+                self._ref(ref, is_write=True)
+        elif isinstance(node, ScalarAssign):
+            self.scalars.assign(node, self.ranges)
+        elif isinstance(node, Loop):
+            self._loop(node)
+        elif isinstance(node, If):
+            self._if(node)
+        elif isinstance(node, CriticalSection):
+            self.in_critical += 1
+            self.enter_critical()
+            self._body(node.body)
+            self.exit_critical()
+            self.in_critical -= 1
+        elif isinstance(node, Call):
+            if self.opts.interproc is not InterprocMode.INLINE:
+                self.at_call_boundary()
+            self.inline_depth += 1
+            self._body(self.program.procedures[node.callee].body)
+            self.inline_depth -= 1
+            if self.opts.interproc is not InterprocMode.INLINE:
+                self.at_call_boundary()
+        else:  # pragma: no cover - closed union
+            raise CompilationError(f"unexpected node {type(node).__name__}")
+
+    def _loop(self, loop: Loop) -> None:
+        lo = self.scalars.resolve(loop.lo)
+        hi = self.scalars.resolve(loop.hi)
+        trips = self.ranges.max_trip_count(lo, hi, loop.step)
+        self.ranges = self.ranges.child()
+        self.ranges.bind(loop.index, self.ranges.loop_range(lo, hi, loop.step))
+        self.note_epoch_sym(loop.index)
+        weak_before = set(self.scalars.weak)
+        self.scalars.weaken_loop_body(loop.body, trips, self.ranges)
+        for name in self.scalars.weak - weak_before:
+            self.note_epoch_sym(name)
+        self.enter_loop(loop)
+        self._body(loop.body)
+        self.exit_loop(loop)
+        self.ranges = self.ranges.parent  # type: ignore[assignment]
+
+    def _if(self, node: If) -> None:
+        saved = self.enter_branch()
+        saved_scalars = self.scalars.copy()
+        then_ranges = self.ranges.child()
+        self.ranges = then_ranges
+        self._body(node.then)
+        then_scalars = self.scalars
+        then_state = self.enter_branch()
+
+        self.scalars = saved_scalars.copy()
+        else_ranges = then_ranges.parent.child()  # type: ignore[union-attr]
+        self.ranges = else_ranges
+        self._restore_branch(saved)
+        self._body(node.els)
+        else_scalars = self.scalars
+        else_state = self.enter_branch()
+
+        self.ranges = else_ranges.parent  # type: ignore[assignment]
+        merged = saved_scalars.copy()
+        merged.merge_branches(then_scalars, else_scalars,
+                              then_ranges, else_ranges, self.ranges)
+        for name in merged.weak:
+            self.note_epoch_sym(name)
+        self.scalars = merged
+        self.merge_branches_hook(then_state, else_state, saved)
+
+    def _restore_branch(self, saved: object) -> None:
+        pass
+
+    def _ref(self, ref: ArrayRef, is_write: bool) -> None:
+        array = self.program.arrays[ref.array]
+        subs = tuple(self.scalars.resolve(s) for s in ref.subscripts)
+        section = section_of(ArrayRef(ref.array, subs, ref.site), array, self.ranges)
+        if (self.opts.interproc is InterprocMode.SUMMARY
+                and self.inline_depth > 0):
+            section = whole_array_section(array)
+        self.visit_ref(ref, is_write, subs, section)
+
+
+def _effectively_shared(array, opts: MarkingOptions) -> bool:
+    """Private storage counts as shared when tasks may migrate: the two
+    halves of one task run on different processors, so per-processor
+    copies of "private" data become cross-processor-visible."""
+    return (array.sharing is Sharing.SHARED
+            or not opts.assume_no_migration)
+
+
+class _Collector(_WalkBase):
+    """Phase 1: gather MOD sections, write occurrences, symbol ranges."""
+
+    def __init__(self, program: Program, epoch: StaticEpoch,
+                 opts: MarkingOptions):
+        super().__init__(program, epoch, opts)
+        self.info = _EpochInfo()
+
+    def note_epoch_sym(self, symbol: str) -> None:
+        self.info.epoch_syms.add(symbol)
+        interval = self.ranges.lookup(symbol)
+        if symbol in self.info.epoch_ranges:
+            interval = interval_union(self.info.epoch_ranges[symbol], interval)
+        self.info.epoch_ranges[symbol] = interval
+
+    def visit_ref(self, ref: ArrayRef, is_write: bool,
+                  subs: Tuple[Affine, ...], section: RegularSection) -> None:
+        if not is_write:
+            return
+        if not _effectively_shared(self.program.arrays[ref.array], self.opts):
+            return
+        self.info.add_write(_WriteOcc(ref.array, subs, section))
+        # Record ranges of weak scalars appearing in subscripts, for the
+        # dependence tests.
+        for sub in subs:
+            for symbol in sub.symbols:
+                if symbol in self.scalars.weak:
+                    self.note_epoch_sym(symbol)
+
+
+# --------------------------------------------------------------------------
+# Phase 3: per-epoch decisions
+
+_Key = Tuple[str, Tuple[Affine, ...]]
+
+
+class _ValidState:
+    """Validated-element sets for the decision walk (TPI and SC views)."""
+
+    def __init__(self) -> None:
+        self.by_write: Set[_Key] = set()
+        self.by_time_read: Set[_Key] = set()
+
+    def copy(self) -> "_ValidState":
+        fresh = _ValidState()
+        fresh.by_write = set(self.by_write)
+        fresh.by_time_read = set(self.by_time_read)
+        return fresh
+
+    def clear(self) -> None:
+        self.by_write.clear()
+        self.by_time_read.clear()
+
+    def drop_keys_with_symbol(self, symbol: str) -> None:
+        def keep(keys: Set[_Key]) -> Set[_Key]:
+            return {k for k in keys
+                    if not any(symbol in sub.symbols for sub in k[1])}
+        self.by_write = keep(self.by_write)
+        self.by_time_read = keep(self.by_time_read)
+
+    def intersect_added(self, base: "_ValidState", then: "_ValidState",
+                        els: "_ValidState") -> None:
+        # Plain intersection of the two final states: entries added in only
+        # one branch don't survive, and entries *cleared* inside a branch
+        # (e.g. by a critical section) are correctly dropped too.
+        del base  # kept in the signature for symmetry with the call site
+        self.by_write = then.by_write & els.by_write
+        self.by_time_read = then.by_time_read & els.by_time_read
+
+
+class _Decider(_WalkBase):
+    """Phase 3: mark every shared read site READ or TIME_READ."""
+
+    def __init__(self, program: Program, epoch: StaticEpoch,
+                 opts: MarkingOptions, info: _EpochInfo,
+                 stale_by_dist: List[Tuple[int, Dict[str, SectionList]]],
+                 any_writes: Dict[str, SectionList],
+                 dep_env: RangeEnv,
+                 tpi: Dict[int, RefMark], sc: Dict[int, RefMark],
+                 strict_sites: Set[int],
+                 stats: Dict[str, int]):
+        super().__init__(program, epoch, opts)
+        self.info = info
+        self.stale_by_dist = stale_by_dist  # ascending by distance
+        self.any_writes = any_writes
+        self.dep_env = dep_env
+        self.tpi = tpi
+        self.sc = sc
+        self.strict_sites = strict_sites
+        self.stats = stats
+        self.valid = _ValidState()
+
+    # ---- validated-set scoping
+
+    def enter_loop(self, loop: Loop) -> None:
+        pass
+
+    def exit_loop(self, loop: Loop) -> None:
+        self.valid.drop_keys_with_symbol(loop.index)
+
+    def enter_branch(self) -> object:
+        return self.valid.copy()
+
+    def _restore_branch(self, saved: object) -> None:
+        self.valid = saved.copy()  # type: ignore[union-attr]
+
+    def merge_branches_hook(self, then_state: object, else_state: object,
+                            saved: object) -> None:
+        merged = _ValidState()
+        merged.intersect_added(saved, then_state, else_state)  # type: ignore[arg-type]
+        self.valid = merged
+
+    def enter_critical(self) -> None:
+        # Lock acquisition is an acquire point: everything validated before
+        # it may have been overwritten by the previous lock holder.
+        self.valid.clear()
+
+    def exit_critical(self) -> None:
+        # Values read under the lock may be overwritten by the next holder
+        # as soon as we release; keep nothing.
+        self.valid.clear()
+
+    def at_call_boundary(self) -> None:
+        self.valid.clear()
+
+    # ---- the decision itself
+
+    def visit_ref(self, ref: ArrayRef, is_write: bool,
+                  subs: Tuple[Affine, ...], section: RegularSection) -> None:
+        array = self.program.arrays[ref.array]
+        key: Optional[_Key] = None
+        if not any(s in self.scalars.weak for sub in subs for s in sub.symbols):
+            key = (ref.array, subs)
+
+        if is_write:
+            if key is not None:
+                self.valid.by_write.add(key)
+            return
+        if not _effectively_shared(array, self.opts):
+            self._decide(ref, RefMark.READ, RefMark.READ, "private")
+            return
+
+        if self.in_critical and self._written_anywhere(ref.array, section):
+            # Forced Time-Read: lock ordering makes even same-epoch writes
+            # visible, so no validation downgrade applies.
+            self._decide(ref, RefMark.TIME_READ, RefMark.TIME_READ, "critical",
+                         strict=True)
+            return
+
+        distance = self._stale_distance(ref.array, subs, section)
+        stale = distance is not None
+        strict = distance == 0  # a same-epoch concurrent writer is possible
+        tpi_mark = sc_mark = RefMark.TIME_READ if stale else RefMark.READ
+        reason = "stale" if stale else "fresh"
+        if (stale and self.opts.intra_task_reuse
+                and self.opts.assume_no_migration and key is not None):
+            if key in self.valid.by_write or key in self.valid.by_time_read:
+                tpi_mark = RefMark.READ
+            if key in self.valid.by_write:
+                sc_mark = RefMark.READ
+            if tpi_mark is RefMark.READ:
+                reason = "validated"
+        if key is not None:
+            if tpi_mark is RefMark.TIME_READ:
+                self.valid.by_time_read.add(key)
+            # An SC bypassing read does not allocate, so it validates nothing;
+            # a non-stale read implies the cached copy is already fresh.
+        self._decide(ref, tpi_mark, sc_mark, reason, strict)
+
+    def _decide(self, ref: ArrayRef, tpi_mark: RefMark, sc_mark: RefMark,
+                reason: str, strict: bool = False) -> None:
+        # A site inlined at several call sites gets the OR over contexts;
+        # strictness ORs too (most conservative).
+        if self.tpi.get(ref.site) is not RefMark.TIME_READ:
+            self.tpi[ref.site] = tpi_mark
+        if tpi_mark is RefMark.TIME_READ and strict:
+            self.strict_sites.add(ref.site)
+        if self.sc.get(ref.site) is not RefMark.TIME_READ:
+            self.sc[ref.site] = sc_mark
+        self.stats[f"reason.{reason}"] = self.stats.get(f"reason.{reason}", 0) + 1
+
+    def _written_anywhere(self, array: str, section: RegularSection) -> bool:
+        writes = self.any_writes.get(array)
+        return writes is not None and writes.overlaps(section)
+
+    def _stale_distance(self, array: str, subs: Tuple[Affine, ...],
+                        section: RegularSection) -> Optional[int]:
+        """Minimum epoch distance to a conflicting write, or None if fresh.
+
+        0 means a concurrent (same-epoch) write is possible.
+        """
+        if self.opts.interproc is InterprocMode.NONE:
+            # Region-based predecessors: no flow analysis, any write anywhere
+            # (past, future, or concurrent) makes the read suspect.
+            return 0 if self._written_anywhere(array, section) else None
+        if self.epoch.parallel and self._same_epoch_conflict(array, subs,
+                                                             section):
+            return 0
+        for dist, sources in self.stale_by_dist:
+            sections = sources.get(array)
+            if sections is not None and sections.overlaps(section):
+                return dist
+        return None
+
+    def _same_epoch_conflict(self, array: str, subs: Tuple[Affine, ...],
+                             section: RegularSection) -> bool:
+        loop = self.epoch.doall
+        assert loop is not None
+        for write in self.info.writes:
+            if write.array != array or not write.section.overlaps(section):
+                continue
+            rel = doall_relation(write.subs, subs, loop.index,
+                                 self.info.epoch_syms, self.dep_env)
+            if rel is Relation.MAY_CONFLICT:
+                return True
+            if (rel is Relation.SAME_ITER_ONLY
+                    and not self.opts.assume_no_migration):
+                # A migrated task's halves run on different processors, so
+                # even a same-iteration write may be a remote write.
+                return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# Phase 2 + driver
+
+
+def _possibly_other_processor(writer: StaticEpoch, reader: StaticEpoch,
+                              opts: MarkingOptions) -> bool:
+    """May the writer run on a different processor than the reader?
+
+    All serial epochs run on the master processor, so serial->serial pairs
+    are same-processor — unless task migration is permitted (Section 5).
+    """
+    if writer.parallel or reader.parallel:
+        return True
+    return not opts.assume_no_migration
+
+
+def mark_program(program: Program, params: Optional[Dict[str, int]] = None,
+                 opts: Optional[MarkingOptions] = None,
+                 graph: Optional[EpochGraph] = None) -> Marking:
+    """Run the full marking analysis and return per-site decisions."""
+    opts = opts or MarkingOptions()
+    graph = graph or build_epoch_graph(program, params)
+
+    infos: Dict[int, _EpochInfo] = {}
+    for epoch in graph.epochs:
+        collector = _Collector(program, epoch, opts)
+        collector.run()
+        infos[epoch.id] = collector.info
+
+    any_writes: Dict[str, SectionList] = {}
+    for info in infos.values():
+        for array, sections in info.mod.items():
+            target = any_writes.setdefault(array, SectionList(array))
+            for section in sections.sections:
+                target.add(section)
+
+    tpi: Dict[int, RefMark] = {}
+    sc: Dict[int, RefMark] = {}
+    stats: Dict[str, int] = {}
+
+    strict_sites: Set[int] = set()
+    for epoch in graph.epochs:
+        by_dist: Dict[int, Dict[str, SectionList]] = {}
+        for other in graph.epochs:
+            dist = graph.distance(other.id, epoch.id)
+            if dist is None:
+                continue
+            if not _possibly_other_processor(other, epoch, opts):
+                continue
+            bucket = by_dist.setdefault(dist, {})
+            for array, sections in infos[other.id].mod.items():
+                target = bucket.setdefault(array, SectionList(array))
+                for section in sections.sections:
+                    target.add(section)
+        stale_by_dist = sorted(by_dist.items())
+
+        info = infos[epoch.id]
+        dep_env = RangeEnv(dict(epoch.ranges.bindings))
+        for symbol, interval in info.epoch_ranges.items():
+            dep_env.bind(symbol, interval)
+
+        if epoch.parallel:
+            info.detect_races(epoch.doall.index, dep_env,
+                              same_iter_is_race=not opts.assume_no_migration)
+        decider = _Decider(program, epoch, opts, info, stale_by_dist,
+                           any_writes, dep_env, tpi, sc, strict_sites, stats)
+        decider.run()
+
+    stats["sites.time_read.tpi"] = sum(
+        1 for mark in tpi.values() if mark is RefMark.TIME_READ)
+    stats["sites.time_read.sc"] = sum(
+        1 for mark in sc.values() if mark is RefMark.TIME_READ)
+    stats["sites.read"] = sum(1 for mark in tpi.values() if mark is RefMark.READ)
+    epoch_writes: Dict[int, Dict[str, bool]] = {}
+    for epoch in graph.epochs:
+        key = epoch.write_key
+        if key is None:
+            continue
+        info = infos[epoch.id]
+        if not info.mod:
+            continue
+        entry = epoch_writes.setdefault(key, {})
+        for array in info.mod:
+            entry[array] = entry.get(array, False) or (array in info.racy_arrays)
+
+    stats["epochs"] = len(graph.epochs)
+    stats["epochs.parallel"] = len(graph.parallel_epochs)
+    stats["sites.strict"] = len(strict_sites)
+    return Marking(tpi=tpi, sc=sc, graph=graph, strict_sites=strict_sites,
+                   epoch_writes=epoch_writes, stats=stats)

@@ -1,0 +1,115 @@
+"""Symbolic range analysis of affine expressions.
+
+A :class:`RangeEnv` maps symbols (parameters, loop indices, weakened
+scalars) to inclusive integer intervals; :meth:`RangeEnv.range_of` computes
+the interval of an affine expression by interval arithmetic.  ``None``
+bounds denote unbounded directions (the result of widening an
+unanalyzable scalar); section construction clamps them to array extents.
+
+This is the demand-driven symbolic analysis layer the paper performs on the
+GSA form [4]; see ``repro.compiler.ssa`` for the scalar-resolution part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.ir.expr import Affine
+
+Bound = Optional[int]  # None = unbounded in that direction
+Interval = Tuple[Bound, Bound]  # inclusive (lo, hi)
+
+
+def interval_add(a: Interval, b: Interval) -> Interval:
+    lo = None if a[0] is None or b[0] is None else a[0] + b[0]
+    hi = None if a[1] is None or b[1] is None else a[1] + b[1]
+    return (lo, hi)
+
+
+def interval_scale(a: Interval, k: int) -> Interval:
+    if k == 0:
+        return (0, 0)
+    lo, hi = a
+    if k < 0:
+        lo, hi = hi, lo
+    return (None if lo is None else lo * k, None if hi is None else hi * k)
+
+
+def interval_union(a: Interval, b: Interval) -> Interval:
+    lo = None if a[0] is None or b[0] is None else min(a[0], b[0])
+    hi = None if a[1] is None or b[1] is None else max(a[1], b[1])
+    return (lo, hi)
+
+
+def intervals_overlap(a: Interval, b: Interval) -> bool:
+    """Conservative: unbounded directions always overlap."""
+    a_lo, a_hi = a
+    b_lo, b_hi = b
+    if a_hi is not None and b_lo is not None and a_hi < b_lo:
+        return False
+    if b_hi is not None and a_lo is not None and b_hi < a_lo:
+        return False
+    return True
+
+
+@dataclass
+class RangeEnv:
+    """A chainable symbol -> interval environment."""
+
+    bindings: Dict[str, Interval]
+    parent: Optional["RangeEnv"] = None
+
+    @staticmethod
+    def from_params(params: Dict[str, int]) -> "RangeEnv":
+        return RangeEnv({name: (value, value) for name, value in params.items()})
+
+    def child(self, **bindings: Interval) -> "RangeEnv":
+        return RangeEnv(dict(bindings), parent=self)
+
+    def bind(self, symbol: str, interval: Interval) -> None:
+        self.bindings[symbol] = interval
+
+    def lookup(self, symbol: str) -> Interval:
+        env: Optional[RangeEnv] = self
+        while env is not None:
+            if symbol in env.bindings:
+                return env.bindings[symbol]
+            env = env.parent
+        return (None, None)  # unknown symbol: unbounded (conservative)
+
+    def range_of(self, expr: Affine) -> Interval:
+        """Interval of ``expr`` under this environment."""
+        result: Interval = (expr.const, expr.const)
+        for symbol, coeff in expr.terms:
+            result = interval_add(result, interval_scale(self.lookup(symbol), coeff))
+        return result
+
+    def loop_range(self, lo: Affine, hi: Affine, step: int) -> Interval:
+        """Interval of a loop index given its (affine) bounds and step.
+
+        The interval covers every value the index can take for any value of
+        the bound symbols; empty loops yield an empty-ish degenerate interval
+        which callers treat as "no iterations".
+        """
+        lo_iv = self.range_of(lo)
+        hi_iv = self.range_of(hi)
+        if step > 0:
+            return (lo_iv[0], hi_iv[1])
+        return (hi_iv[0], lo_iv[1])
+
+    def max_trip_count(self, lo: Affine, hi: Affine, step: int) -> Optional[int]:
+        """An upper bound on the trip count, or None if unbounded."""
+        lo_iv = self.range_of(lo)
+        hi_iv = self.range_of(hi)
+        if step > 0:
+            if lo_iv[0] is None or hi_iv[1] is None:
+                return None
+            span = hi_iv[1] - lo_iv[0]
+        else:
+            if hi_iv[0] is None or lo_iv[1] is None:
+                return None
+            span = lo_iv[1] - hi_iv[0]
+        if span < 0:
+            return 0
+        return span // abs(step) + 1

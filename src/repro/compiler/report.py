@@ -1,0 +1,76 @@
+"""Per-program compiler marking statistics.
+
+Produces the static side of the paper's compiler evaluation: how many read
+sites each analysis mode marks as Time-Reads, per benchmark.  Dynamic
+fractions (how many executed reads were Time-Reads) come from the simulator
+counters; see ``repro.experiments.tab_marking``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.compiler.marking import InterprocMode, MarkingOptions, RefMark, mark_program
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class ModeStats:
+    """Static marking statistics for one analysis configuration."""
+
+    read_sites: int
+    time_read_sites_tpi: int
+    time_read_sites_sc: int
+    parallel_epochs: int
+    total_epochs: int
+
+    @property
+    def time_read_fraction_tpi(self) -> float:
+        return self.time_read_sites_tpi / self.read_sites if self.read_sites else 0.0
+
+    @property
+    def time_read_fraction_sc(self) -> float:
+        return self.time_read_sites_sc / self.read_sites if self.read_sites else 0.0
+
+
+def _stats_for(program: Program, params: Optional[Dict[str, int]],
+               opts: MarkingOptions) -> ModeStats:
+    marking = mark_program(program, params, opts)
+    read_sites = len(marking.tpi)
+    return ModeStats(
+        read_sites=read_sites,
+        time_read_sites_tpi=sum(
+            1 for mark in marking.tpi.values() if mark is RefMark.TIME_READ),
+        time_read_sites_sc=sum(
+            1 for mark in marking.sc.values() if mark is RefMark.TIME_READ),
+        parallel_epochs=marking.stats["epochs.parallel"],
+        total_epochs=marking.stats["epochs"],
+    )
+
+
+def marking_report(program: Program,
+                   params: Optional[Dict[str, int]] = None
+                   ) -> Dict[str, ModeStats]:
+    """Marking statistics under the three interprocedural modes.
+
+    Keys: ``"inline"`` (the paper's full analysis), ``"summary"``
+    (section-widened call summaries), ``"none"`` (pre-TPI region-based
+    schemes that invalidate at procedure boundaries).
+    """
+    return {
+        mode.value: _stats_for(program, params, MarkingOptions(interproc=mode))
+        for mode in InterprocMode
+    }
+
+
+def render_report(name: str, report: Dict[str, ModeStats]) -> str:
+    """Human-readable table for one benchmark."""
+    lines = [f"compiler marking statistics: {name}",
+             f"{'mode':<10} {'read sites':>10} {'TIME_READ (TPI)':>16} "
+             f"{'TIME_READ (SC)':>15} {'% TPI':>7}"]
+    for mode, stats in report.items():
+        lines.append(
+            f"{mode:<10} {stats.read_sites:>10} {stats.time_read_sites_tpi:>16} "
+            f"{stats.time_read_sites_sc:>15} {100 * stats.time_read_fraction_tpi:>6.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Bounded regular section descriptors.
+
+A :class:`RegularSection` summarizes the set of elements an array reference
+touches across a loop nest as one ``lo:hi:stride`` triplet per dimension,
+clamped to the array extents.  Sections are the currency of the paper's
+intra- and interprocedural array data-flow analysis: the marking pass asks
+"may this read's section overlap that write's section?".
+
+All operations are conservative: when in doubt they answer "overlaps".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.compiler.ranges import RangeEnv
+from repro.ir.expr import Affine
+from repro.ir.program import Array, ArrayRef
+
+
+@dataclass(frozen=True)
+class DimSection:
+    """One dimension of a regular section: ``{lo + k*stride | lo+k*stride <= hi}``."""
+
+    lo: int
+    hi: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+
+    @property
+    def empty(self) -> bool:
+        return self.hi < self.lo
+
+    def overlaps(self, other: "DimSection") -> bool:
+        """May the two arithmetic progressions share a point? Conservative."""
+        if self.empty or other.empty:
+            return False
+        if self.hi < other.lo or other.hi < self.lo:
+            return False
+        # Arithmetic progressions lo1 + k*s1 and lo2 + m*s2 intersect only if
+        # (lo1 - lo2) is divisible by gcd(s1, s2).  (Necessary condition; we
+        # don't check that the intersection point lies inside both windows,
+        # which keeps the test conservative.)
+        g = math.gcd(self.stride, other.stride)
+        return (self.lo - other.lo) % g == 0
+
+    def union(self, other: "DimSection") -> "DimSection":
+        """Bounding section of the two (stride falls back to gcd)."""
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        g = math.gcd(self.stride, other.stride)
+        if (self.lo - other.lo) % g:
+            g = 1  # offsets incompatible: widen to dense
+        return DimSection(min(self.lo, other.lo), max(self.hi, other.hi), g)
+
+    def contains(self, other: "DimSection") -> bool:
+        """Definitely-contains (used only for summary compaction)."""
+        if other.empty:
+            return True
+        if self.empty:
+            return False
+        return (self.lo <= other.lo and other.hi <= self.hi
+                and other.stride % self.stride == 0
+                and (other.lo - self.lo) % self.stride == 0)
+
+
+@dataclass(frozen=True)
+class RegularSection:
+    """A rectangular array region: one :class:`DimSection` per dimension."""
+
+    array: str
+    dims: Tuple[DimSection, ...]
+
+    @property
+    def empty(self) -> bool:
+        return any(d.empty for d in self.dims)
+
+    def overlaps(self, other: "RegularSection") -> bool:
+        if self.array != other.array:
+            return False
+        return all(a.overlaps(b) for a, b in zip(self.dims, other.dims))
+
+    def union(self, other: "RegularSection") -> "RegularSection":
+        if self.array != other.array:
+            raise ValueError("cannot union sections of different arrays")
+        return RegularSection(
+            self.array, tuple(a.union(b) for a, b in zip(self.dims, other.dims)))
+
+    def contains(self, other: "RegularSection") -> bool:
+        return (self.array == other.array
+                and all(a.contains(b) for a, b in zip(self.dims, other.dims)))
+
+    def __str__(self) -> str:
+        dims = ", ".join(
+            f"{d.lo}:{d.hi}" + (f":{d.stride}" if d.stride != 1 else "")
+            for d in self.dims)
+        return f"{self.array}[{dims}]"
+
+
+def whole_array_section(array: Array) -> RegularSection:
+    return RegularSection(
+        array.name, tuple(DimSection(0, extent - 1, 1) for extent in array.shape))
+
+
+def _dim_stride(sub: Affine, env: RangeEnv) -> int:
+    """Stride of a subscript: |coefficient| of its single varying symbol.
+
+    A symbol is *varying* if its interval is not a single point.  Multiple
+    varying symbols (coupled subscripts) fall back to dense stride 1.
+    """
+    varying = []
+    for symbol, coeff in sub.terms:
+        lo, hi = env.lookup(symbol)
+        if lo is None or hi is None or lo != hi:
+            varying.append(coeff)
+    if len(varying) == 1:
+        return abs(varying[0])
+    return 1
+
+
+def section_of(ref: ArrayRef, array: Array, env: RangeEnv) -> RegularSection:
+    """The regular section a reference touches under an index environment.
+
+    Unbounded subscript ranges (widened scalars) are clamped to the array
+    extent, i.e. the section conservatively covers the whole dimension.
+    """
+    dims = []
+    for sub, extent in zip(ref.subscripts, array.shape):
+        lo, hi = env.range_of(sub)
+        lo = 0 if lo is None else max(0, min(lo, extent - 1))
+        hi = extent - 1 if hi is None else max(0, min(hi, extent - 1))
+        dims.append(DimSection(lo, hi, _dim_stride(sub, env)))
+    return RegularSection(array.name, tuple(dims))
+
+
+class SectionList:
+    """A bounded union of sections of one array.
+
+    Keeps at most ``cap`` sections; beyond that, new sections are merged into
+    the closest existing one (by bounding-box union), preserving soundness at
+    the cost of precision — this is the "bounded" in bounded regular sections.
+    """
+
+    def __init__(self, array: str, cap: int = 8):
+        self.array = array
+        self.cap = cap
+        self.sections: list = []
+
+    def add(self, section: RegularSection) -> None:
+        if section.empty:
+            return
+        for i, existing in enumerate(self.sections):
+            if existing.contains(section):
+                return
+            if section.contains(existing):
+                self.sections[i] = section
+                return
+        if len(self.sections) < self.cap:
+            self.sections.append(section)
+        else:
+            self.sections[-1] = self.sections[-1].union(section)
+
+    def overlaps(self, section: RegularSection) -> bool:
+        return any(s.overlaps(section) for s in self.sections)
+
+    def union_all(self) -> Optional[RegularSection]:
+        if not self.sections:
+            return None
+        result = self.sections[0]
+        for s in self.sections[1:]:
+            result = result.union(s)
+        return result

@@ -1,0 +1,123 @@
+"""GSA-lite scalar resolution.
+
+The paper transforms programs to Gated Single Assignment form and runs
+demand-driven symbolic analysis on it [4].  Our IR has structured control
+flow only, so full GSA collapses to something much simpler that preserves
+the analysis power the marking pass needs:
+
+* straight-line scalar assignments are resolved by substitution (copy /
+  affine propagation), so a subscript ``A[off + i]`` with ``off := 2*N``
+  becomes exactly affine in parameters and indices;
+* scalars assigned inside a loop are *loop-varying*: they cannot be
+  represented affinely, so they are **weakened** to an opaque symbol with a
+  conservative interval.  The common induction pattern ``s := s + c`` gets a
+  tight interval derived from the trip count; anything else is widened to
+  unbounded (section construction then clamps to the array extent);
+* branches of an ``If`` merge by interval union (the gating function of GSA,
+  approximated by its value range).
+
+The outcome per scalar is either an exact :class:`Affine` over parameters
+and loop indices, or an interval registered in the :class:`RangeEnv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.compiler.ranges import Interval, RangeEnv, interval_add, interval_union
+from repro.ir.expr import Affine
+from repro.ir.program import ScalarAssign, walk
+
+
+@dataclass
+class ScalarEnv:
+    """Tracks, per scalar, an exact affine value or a weakened interval."""
+
+    exact: Dict[str, Affine] = field(default_factory=dict)
+    weak: Set[str] = field(default_factory=set)
+
+    def copy(self) -> "ScalarEnv":
+        return ScalarEnv(dict(self.exact), set(self.weak))
+
+    def resolve(self, expr: Affine) -> Affine:
+        """Substitute exactly-known scalars; weakened ones stay symbolic."""
+        known = {s: self.exact[s] for s in expr.symbols if s in self.exact}
+        return expr.substitute(known) if known else expr
+
+    def assign(self, node: ScalarAssign, ranges: RangeEnv) -> None:
+        """Process ``name := expr`` in straight-line context."""
+        resolved = self.resolve(node.expr)
+        if node.name in resolved.symbols:
+            # Self-reference outside a loop pre-pass: weaken via current range.
+            self._weaken(node.name, ranges.range_of(resolved), ranges)
+            return
+        self.exact[node.name] = resolved
+        self.weak.discard(node.name)
+        ranges.bind(node.name, ranges.range_of(resolved))
+
+    def _weaken(self, name: str, interval: Interval, ranges: RangeEnv) -> None:
+        self.exact.pop(name, None)
+        self.weak.add(name)
+        ranges.bind(name, interval)
+
+    def weaken_loop_body(self, body, trip_bound: Optional[int],
+                         ranges: RangeEnv) -> None:
+        """Weaken every scalar assigned anywhere in a loop body.
+
+        Must be called before analysing the body so that uses of
+        loop-varying scalars see a sound interval.  The induction pattern
+        ``s := s + c`` (possibly via several assignments summing to a net
+        constant increment per iteration) gets the interval
+        ``[init_lo + min(0, c*(T-1)), init_hi + max(0, c*(T-1))]`` for trip
+        bound ``T``; other assignments widen to unbounded.
+        """
+        increments = self._net_increments(body)
+        for name, net in increments.items():
+            if net is None or trip_bound is None:
+                self._weaken(name, (None, None), ranges)
+                continue
+            init = ranges.range_of(self.resolve(Affine.var(name))
+                                   if name in self.exact else Affine.var(name))
+            span = net * max(0, trip_bound - 1)
+            delta: Interval = (min(0, span), max(0, span))
+            self._weaken(name, interval_add(init, delta), ranges)
+
+    @staticmethod
+    def _net_increments(body) -> Dict[str, Optional[int]]:
+        """Per scalar assigned in ``body``: net constant increment per
+        iteration if every assignment is ``s := s + const`` at the top level
+        of the body, else None (unknown)."""
+        result: Dict[str, Optional[int]] = {}
+        top_level = {id(n) for n in body}
+        for node in walk(tuple(body)):
+            if not isinstance(node, ScalarAssign):
+                continue
+            name = node.name
+            delta = node.expr - Affine.var(name)
+            is_simple = (id(node) in top_level and delta.is_constant)
+            if name not in result:
+                result[name] = delta.const if is_simple else None
+            elif result[name] is not None and is_simple:
+                result[name] += delta.const
+            else:
+                result[name] = None
+        return result
+
+    def merge_branches(self, then_env: "ScalarEnv", else_env: "ScalarEnv",
+                       then_ranges: RangeEnv, else_ranges: RangeEnv,
+                       ranges: RangeEnv) -> None:
+        """Gate (phi) merge of the two branch environments into self."""
+        names = (set(then_env.exact) | then_env.weak
+                 | set(else_env.exact) | else_env.weak)
+        for name in names:
+            t = then_env.exact.get(name)
+            e = else_env.exact.get(name)
+            if t is not None and e is not None and t == e:
+                self.exact[name] = t
+                self.weak.discard(name)
+                ranges.bind(name, ranges.range_of(t))
+            else:
+                t_iv = then_ranges.lookup(name)
+                e_iv = else_ranges.lookup(name)
+                self._weaken(name, interval_union(t_iv, e_iv), ranges)

@@ -1,0 +1,146 @@
+"""Shared infrastructure for the per-figure experiment harnesses.
+
+Every experiment module exposes ``run(machine=None, size="paper") ->
+ExperimentResult``; the result carries the table the paper's corresponding
+figure reports (same rows/series), plus free-form notes recording the
+shape claims being reproduced.  ``size="small"`` shrinks the workloads for
+fast tests; ``"paper"`` uses the evaluation sizes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import MachineConfig, default_machine
+from repro.sim import PreparedRun, prepare, simulate
+from repro.sim.metrics import SimResult
+from repro.workloads import build_workload, workload_names
+
+DEFAULT_SCHEMES = ("base", "sc", "tpi", "hw")
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure."""
+
+    experiment: str
+    title: str
+    headers: List[str]
+    rows: List[List] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        widths = [len(str(h)) for h in self.headers]
+        formatted_rows = []
+        for row in self.rows:
+            cells = [self._cell(value) for value in row]
+            widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+            formatted_rows.append(cells)
+        def line(cells):
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+        out = [f"== {self.experiment}: {self.title}",
+               line([str(h) for h in self.headers]),
+               line(["-" * w for w in widths])]
+        out.extend(line(cells) for cells in formatted_rows)
+        if self.notes:
+            out.append(self.notes.rstrip())
+        return "\n".join(out)
+
+    @staticmethod
+    def _cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+        return str(value)
+
+    def to_dict(self) -> Dict:
+        return {"experiment": self.experiment, "title": self.title,
+                "headers": list(self.headers),
+                "rows": [list(row) for row in self.rows],
+                "notes": self.notes}
+
+    @staticmethod
+    def from_dict(data: Dict) -> "ExperimentResult":
+        return ExperimentResult(experiment=data["experiment"],
+                                title=data["title"],
+                                headers=list(data["headers"]),
+                                rows=[list(row) for row in data["rows"]],
+                                notes=data.get("notes", ""))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    @staticmethod
+    def load(path: str) -> "ExperimentResult":
+        with open(path) as handle:
+            return ExperimentResult.from_dict(json.load(handle))
+
+    def render_bars(self, value_header: str, width: int = 46) -> str:
+        """Horizontal ASCII bar chart of one numeric column.
+
+        Rows are labelled by their leading non-numeric cells; bars scale to
+        the column maximum.  Handy for eyeballing a figure in a terminal::
+
+            print(result.render_bars("TPI"))
+        """
+        index = self.headers.index(value_header)
+        labels = []
+        values = []
+        for row in self.rows:
+            label = " ".join(str(cell) for cell in row[:index]
+                             if not isinstance(cell, float))
+            value = row[index]
+            if not isinstance(value, (int, float)):
+                raise ValueError(f"column {value_header!r} is not numeric")
+            labels.append(label)
+            values.append(float(value))
+        peak = max((abs(v) for v in values), default=0.0) or 1.0
+        label_w = max((len(l) for l in labels), default=0)
+        out = [f"== {self.experiment}: {value_header}"]
+        for label, value in zip(labels, values):
+            bar = "#" * max(0, round(width * abs(value) / peak))
+            out.append(f"{label.rjust(label_w)} |{bar} {self._cell(value)}")
+        return "\n".join(out)
+
+    def column(self, header: str) -> List:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def cell(self, row_key, header: str):
+        """Value at (first column == row_key, header)."""
+        index = self.headers.index(header)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[index]
+        raise KeyError(f"no row {row_key!r} in experiment {self.experiment}")
+
+
+class Bench:
+    """Prepares workloads once per (machine, size) and simulates on demand."""
+
+    def __init__(self, machine: Optional[MachineConfig] = None,
+                 size: str = "paper", workloads: Optional[Sequence[str]] = None):
+        self.machine = machine or default_machine()
+        self.size = "small" if size == "small" else "default"
+        self.names = list(workloads) if workloads else workload_names()
+        self._prepared: Dict[Tuple[str, int], PreparedRun] = {}
+        self._results: Dict[Tuple[str, str, int], SimResult] = {}
+
+    def prepared(self, name: str,
+                 machine: Optional[MachineConfig] = None) -> PreparedRun:
+        machine = machine or self.machine
+        key = (name, id(machine))
+        if key not in self._prepared:
+            program = build_workload(name, size=self.size)
+            self._prepared[key] = prepare(program, machine)
+        return self._prepared[key]
+
+    def result(self, name: str, scheme: str,
+               machine: Optional[MachineConfig] = None) -> SimResult:
+        machine = machine or self.machine
+        key = (name, scheme, id(machine))
+        if key not in self._results:
+            self._results[key] = simulate(self.prepared(name, machine), scheme)
+        return self._results[key]

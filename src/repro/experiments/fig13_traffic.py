@@ -1,0 +1,38 @@
+"""Network traffic breakdown — read / write / coherence words per scheme.
+
+The paper: TPI's write-through policy produces more write traffic than the
+directory's write-back (dramatically so on TRFD, where redundant writes
+dominate); the directory instead pays coherence-transaction traffic that
+the compiler-directed schemes avoid entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import MachineConfig
+from repro.common.stats import TrafficClass
+from repro.experiments.common import Bench, DEFAULT_SCHEMES, ExperimentResult
+
+
+def run(machine: Optional[MachineConfig] = None,
+        size: str = "paper") -> ExperimentResult:
+    bench = Bench(machine, size)
+    result = ExperimentResult(
+        experiment="fig13_traffic",
+        title="network words per memory access, by traffic class",
+        headers=["workload", "scheme", "read", "write", "coherence", "total"],
+    )
+    for name in bench.names:
+        for scheme in DEFAULT_SCHEMES:
+            r = bench.result(name, scheme)
+            accesses = max(1, r.reads + r.writes)
+            read = r.traffic.get(TrafficClass.READ, 0) / accesses
+            write = r.traffic.get(TrafficClass.WRITE, 0) / accesses
+            coh = r.traffic.get(TrafficClass.COHERENCE, 0) / accesses
+            result.rows.append([name, scheme.upper(), read, write, coh,
+                                read + write + coh])
+    result.notes = ("shape: TPI/SC write traffic > HW write traffic "
+                    "(write-through vs write-back), largest on TRFD; "
+                    "coherence traffic exists only for HW.")
+    return result

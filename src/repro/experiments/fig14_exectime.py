@@ -1,0 +1,32 @@
+"""Execution time — normalized to the hardware directory.
+
+The paper's bottom line: in spite of conservative compiler decisions, the
+TPI scheme's overall performance is comparable to the full-map directory,
+while SC and BASE are far behind.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import MachineConfig
+from repro.experiments.common import Bench, DEFAULT_SCHEMES, ExperimentResult
+
+
+def run(machine: Optional[MachineConfig] = None,
+        size: str = "paper") -> ExperimentResult:
+    bench = Bench(machine, size)
+    result = ExperimentResult(
+        experiment="fig14_exectime",
+        title="execution time normalized to the full-map directory (HW = 1)",
+        headers=["workload", *(s.upper() for s in DEFAULT_SCHEMES)],
+    )
+    for name in bench.names:
+        hw_cycles = bench.result(name, "hw").exec_cycles
+        row = [name]
+        for scheme in DEFAULT_SCHEMES:
+            row.append(bench.result(name, scheme).exec_cycles / hw_cycles)
+        result.rows.append(row)
+    result.notes = ("shape: TPI within a small factor of HW = 1.0 on every "
+                    "benchmark; SC and BASE several times slower.")
+    return result

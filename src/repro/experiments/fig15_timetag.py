@@ -1,0 +1,51 @@
+"""Timetag-width sensitivity ("a 4-bit or 8-bit timetag is large enough").
+
+Sweeping the timetag width k changes how often the two-phase reset fires
+(every 2^(k-1) epochs) and therefore how much old-but-still-fresh data it
+destroys.  The paper's claim: performance saturates by k = 4..8.  The
+naive flush-on-wrap policy is included as the ablation the two-phase
+mechanism improves on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import MachineConfig, TimetagResetPolicy, TpiConfig, default_machine
+from repro.experiments.common import Bench, ExperimentResult
+
+WIDTHS = (2, 3, 4, 6, 8)
+
+
+def run(machine: Optional[MachineConfig] = None,
+        size: str = "paper") -> ExperimentResult:
+    base = machine or default_machine()
+    result = ExperimentResult(
+        experiment="fig15_timetag",
+        title="TPI miss rate (%) and resets vs timetag width",
+        headers=["workload", *(f"k={k}" for k in WIDTHS), "k=4 flush",
+                 "resets k=2", "resets k=8"],
+    )
+    benches = {}
+    for k in WIDTHS:
+        m = base.with_(tpi=TpiConfig(timetag_bits=k))
+        benches[("two", k)] = Bench(m, size)
+    flush = base.with_(tpi=TpiConfig(timetag_bits=4,
+                                     reset_policy=TimetagResetPolicy.FLUSH))
+    benches[("flush", 4)] = Bench(flush, size)
+
+    for name in benches[("two", 8)].names:
+        row = [name]
+        for k in WIDTHS:
+            row.append(100.0 * benches[("two", k)].result(name, "tpi").miss_rate)
+        row.append(100.0 * benches[("flush", 4)].result(name, "tpi").miss_rate)
+        row.append(benches[("two", 2)].result(name, "tpi").resets)
+        row.append(benches[("two", 8)].result(name, "tpi").resets)
+        result.rows.append(row)
+    result.notes = ("shape: miss rate non-increasing in k, flat by k=4..8; "
+                    "tiny tags (k=2) reset every other epoch and lose "
+                    "loop-invariant data; flush-on-wrap lands close to "
+                    "two-phase at equal k (it clears more but fires half "
+                    "as often) — the paper's case for two-phase is the "
+                    "incremental, non-bursty invalidation.")
+    return result

@@ -1,0 +1,22 @@
+"""Figure 8 — default simulation parameters (configuration table)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import MachineConfig, default_machine, parameter_table
+from repro.experiments.common import ExperimentResult
+
+
+def run(machine: Optional[MachineConfig] = None,
+        size: str = "paper") -> ExperimentResult:
+    del size
+    machine = machine or default_machine()
+    result = ExperimentResult(
+        experiment="fig8_params",
+        title="cache and system organization / latency (defaults)",
+        headers=["parameter", "value"],
+        rows=[[name, value] for name, value in parameter_table(machine)],
+        notes="matches the paper's Figure 8 defaults verbatim.",
+    )
+    return result

@@ -1,0 +1,43 @@
+"""A small Fortran-like parallel intermediate representation.
+
+Programs are built from DOALL and serial loops over statements whose array
+subscripts are affine expressions of loop indices, program parameters, and
+scalar variables.  This is the substrate on which the paper's Polaris-based
+compiler analyses are implemented.
+"""
+
+from repro.ir.expr import Affine, Cond, sym
+from repro.ir.program import (
+    Array,
+    ArrayRef,
+    Call,
+    CriticalSection,
+    If,
+    Loop,
+    Procedure,
+    Program,
+    ScalarAssign,
+    Sharing,
+    Statement,
+)
+from repro.ir.builder import ProgramBuilder
+from repro.ir.validate import validate_program
+
+__all__ = [
+    "Affine",
+    "Array",
+    "ArrayRef",
+    "Call",
+    "Cond",
+    "CriticalSection",
+    "If",
+    "Loop",
+    "Procedure",
+    "Program",
+    "ProgramBuilder",
+    "ScalarAssign",
+    "Sharing",
+    "Statement",
+    "sym",
+    "validate_program",
+]

@@ -1,0 +1,201 @@
+"""Fluent construction API for IR programs.
+
+The builder assigns unique site ids to every array reference and supports
+nested construction through context managers::
+
+    b = ProgramBuilder("jacobi", params={"N": 64})
+    b.array("A", (64, 64))
+    b.array("B", (64, 64))
+    with b.procedure("main"):
+        with b.serial("t", 0, b.p("T") - 1):
+            with b.doall("i", 1, 62):
+                with b.serial("j", 1, 62):
+                    b.stmt(
+                        writes=[b.at("B", b.v("i"), b.v("j"))],
+                        reads=[b.at("A", b.v("i") + 1, b.v("j")),
+                               b.at("A", b.v("i") - 1, b.v("j"))],
+                        work=4,
+                    )
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import ValidationError
+from repro.ir.expr import Affine, Cond, IntLike
+from repro.ir.program import (
+    Array,
+    ArrayRef,
+    Call,
+    CriticalSection,
+    If,
+    Loop,
+    Node,
+    Procedure,
+    Program,
+    ScalarAssign,
+    Sharing,
+    Statement,
+)
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program`; see the module docstring for usage."""
+
+    def __init__(self, name: str, params: Optional[Dict[str, int]] = None):
+        self._program = Program(name=name, params=dict(params or {}))
+        self._site = 0
+        self._stack: List[List[Node]] = []
+        self._current_proc: Optional[str] = None
+
+    # ---------------------------------------------------------------- decls
+
+    def param(self, name: str, default: int) -> Affine:
+        """Declare a program parameter and return a symbol for it."""
+        self._program.params[name] = default
+        return Affine.var(name)
+
+    def array(self, name: str, shape: Sequence[int], *,
+              private: bool = False, element_words: int = 1) -> str:
+        """Declare an array; returns its name for convenience.
+
+        ``element_words=2`` declares double-precision elements (each access
+        touches two consecutive words).
+        """
+        if name in self._program.arrays:
+            raise ValidationError(f"array {name!r} declared twice")
+        sharing = Sharing.PRIVATE if private else Sharing.SHARED
+        self._program.arrays[name] = Array(name, tuple(int(d) for d in shape),
+                                           sharing, element_words)
+        return name
+
+    # ------------------------------------------------------------- symbols
+
+    @staticmethod
+    def v(name: str) -> Affine:
+        """Reference a loop index or scalar variable."""
+        return Affine.var(name)
+
+    @staticmethod
+    def p(name: str) -> Affine:
+        """Reference a program parameter (same representation as v)."""
+        return Affine.var(name)
+
+    # ------------------------------------------------------------ contexts
+
+    @contextlib.contextmanager
+    def procedure(self, name: str):
+        if self._current_proc is not None:
+            raise ValidationError("procedures cannot nest")
+        if name in self._program.procedures:
+            raise ValidationError(f"procedure {name!r} declared twice")
+        self._current_proc = name
+        self._stack.append([])
+        try:
+            yield self
+        finally:
+            body = tuple(self._stack.pop())
+            self._program.procedures[name] = Procedure(name, body)
+            self._current_proc = None
+
+    @contextlib.contextmanager
+    def _loop(self, index: str, lo: IntLike, hi: IntLike, *, step: int,
+              parallel: bool, label: str):
+        self._require_proc()
+        self._stack.append([])
+        try:
+            yield Affine.var(index)
+        finally:
+            body = tuple(self._stack.pop())
+            self._emit(Loop(index=index, lo=Affine.of(lo), hi=Affine.of(hi),
+                            body=body, step=step, parallel=parallel, label=label))
+
+    def serial(self, index: str, lo: IntLike, hi: IntLike, *, step: int = 1,
+               label: str = ""):
+        """Open a serial loop; yields the index symbol."""
+        return self._loop(index, lo, hi, step=step, parallel=False, label=label)
+
+    def doall(self, index: str, lo: IntLike, hi: IntLike, *, step: int = 1,
+              label: str = ""):
+        """Open a parallel DOALL loop; yields the index symbol."""
+        return self._loop(index, lo, hi, step=step, parallel=True, label=label)
+
+    @contextlib.contextmanager
+    def when(self, lhs: IntLike, op: str, rhs: IntLike, label: str = ""):
+        """Open the then-branch of an If (no else; use if_else for both)."""
+        self._require_proc()
+        self._stack.append([])
+        try:
+            yield self
+        finally:
+            then = tuple(self._stack.pop())
+            self._emit(If(Cond(Affine.of(lhs), op, Affine.of(rhs)), then, (), label))
+
+    @contextlib.contextmanager
+    def critical(self, lock: str = "L0", label: str = ""):
+        """Open a critical section protected by the named lock."""
+        self._require_proc()
+        self._stack.append([])
+        try:
+            yield self
+        finally:
+            body = tuple(self._stack.pop())
+            self._emit(CriticalSection(lock, body, label))
+
+    def if_else(self, cond: Cond, then: Sequence[Node], els: Sequence[Node] = (),
+                label: str = "") -> None:
+        """Emit an If from already-built bodies (rarely needed)."""
+        self._require_proc()
+        self._emit(If(cond, tuple(then), tuple(els), label))
+
+    # --------------------------------------------------------------- leaves
+
+    def at(self, array: str, *subscripts: IntLike) -> ArrayRef:
+        """Create a reference site ``array[subscripts...]``."""
+        if array not in self._program.arrays:
+            raise ValidationError(f"reference to undeclared array {array!r}")
+        ref = ArrayRef(array, tuple(Affine.of(s) for s in subscripts), self._site)
+        self._site += 1
+        return ref
+
+    def stmt(self, *, writes: Sequence[ArrayRef] = (), reads: Sequence[ArrayRef] = (),
+             work: int = 1, label: str = "") -> None:
+        self._require_proc()
+        if work < 0:
+            raise ValidationError("statement work must be non-negative")
+        self._emit(Statement(tuple(reads), tuple(writes), work, label))
+
+    def assign(self, name: str, expr: IntLike, label: str = "") -> Affine:
+        """Emit a scalar assignment; returns a symbol for the scalar."""
+        self._require_proc()
+        self._emit(ScalarAssign(name, Affine.of(expr), label))
+        return Affine.var(name)
+
+    def call(self, callee: str, label: str = "") -> None:
+        self._require_proc()
+        self._emit(Call(callee, label))
+
+    # ---------------------------------------------------------------- build
+
+    def build(self, entry: str = "main", validate: bool = True) -> Program:
+        from repro.ir.validate import validate_program
+
+        if self._stack:
+            raise ValidationError("build() called inside an open context")
+        self._program.entry = entry
+        self._program.n_sites = self._site
+        if validate:
+            validate_program(self._program)
+        return self._program
+
+    # -------------------------------------------------------------- helpers
+
+    def _require_proc(self) -> None:
+        if self._current_proc is None:
+            raise ValidationError("statements must appear inside a procedure")
+
+    def _emit(self, node: Node) -> None:
+        self._stack[-1].append(node)

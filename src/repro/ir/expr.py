@@ -1,0 +1,162 @@
+"""Affine expressions over named symbols.
+
+An :class:`Affine` is ``const + sum(coeff_s * s)`` over symbols ``s`` (loop
+indices, program parameters, or scalar variables).  They are immutable,
+hashable, and support the arithmetic needed for subscript analysis:
+addition, subtraction, multiplication by integer constants, substitution,
+and evaluation under a binding environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+from repro.common.errors import ValidationError
+
+IntLike = Union[int, "Affine"]
+
+
+def _normalize(coeffs: Mapping[str, int]) -> Tuple[Tuple[str, int], ...]:
+    return tuple(sorted((s, c) for s, c in coeffs.items() if c != 0))
+
+
+@dataclass(frozen=True)
+class Affine:
+    """An immutable affine expression ``const + sum(coeff * symbol)``."""
+
+    const: int = 0
+    terms: Tuple[Tuple[str, int], ...] = ()
+
+    @staticmethod
+    def of(value: IntLike) -> "Affine":
+        """Coerce an int or Affine to an Affine."""
+        if isinstance(value, Affine):
+            return value
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValidationError(f"cannot coerce {value!r} to an affine expression")
+        return Affine(const=value)
+
+    @staticmethod
+    def var(name: str, coeff: int = 1) -> "Affine":
+        return Affine(const=0, terms=_normalize({name: coeff}))
+
+    @property
+    def coeffs(self) -> Dict[str, int]:
+        return dict(self.terms)
+
+    @property
+    def symbols(self) -> frozenset:
+        return frozenset(s for s, _ in self.terms)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def coeff(self, symbol: str) -> int:
+        return self.coeffs.get(symbol, 0)
+
+    def __add__(self, other: IntLike) -> "Affine":
+        other = Affine.of(other)
+        coeffs = self.coeffs
+        for s, c in other.terms:
+            coeffs[s] = coeffs.get(s, 0) + c
+        return Affine(self.const + other.const, _normalize(coeffs))
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Affine":
+        return Affine(-self.const, _normalize({s: -c for s, c in self.terms}))
+
+    def __sub__(self, other: IntLike) -> "Affine":
+        return self + (-Affine.of(other))
+
+    def __rsub__(self, other: IntLike) -> "Affine":
+        return Affine.of(other) + (-self)
+
+    def __mul__(self, k: int) -> "Affine":
+        if isinstance(k, Affine):
+            if k.is_constant:
+                k = k.const
+            elif self.is_constant:
+                return k * self.const
+            else:
+                raise ValidationError("product of two non-constant affine expressions")
+        if not isinstance(k, int):
+            raise ValidationError(f"affine expressions scale by integers, not {k!r}")
+        return Affine(self.const * k, _normalize({s: c * k for s, c in self.terms}))
+
+    __rmul__ = __mul__
+
+    def substitute(self, bindings: Mapping[str, IntLike]) -> "Affine":
+        """Replace symbols by ints or other affine expressions."""
+        result = Affine(self.const)
+        for s, c in self.terms:
+            if s in bindings:
+                result = result + Affine.of(bindings[s]) * c
+            else:
+                result = result + Affine.var(s, c)
+        return result
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate to an int; every symbol must be bound."""
+        value = self.const
+        for s, c in self.terms:
+            if s not in env:
+                raise ValidationError(f"unbound symbol {s!r} in {self}")
+            value += c * env[s]
+        return value
+
+    def __str__(self) -> str:
+        parts = [str(self.const)] if self.const or not self.terms else []
+        for s, c in self.terms:
+            if c == 1:
+                parts.append(s)
+            elif c == -1:
+                parts.append(f"-{s}")
+            else:
+                parts.append(f"{c}*{s}")
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+def sym(name: str) -> Affine:
+    """Shorthand for a unit-coefficient symbol reference."""
+    return Affine.var(name)
+
+
+@dataclass(frozen=True)
+class Cond:
+    """A comparison ``lhs op rhs`` between affine expressions.
+
+    Used by :class:`repro.ir.program.If`; the compiler treats both branches
+    conservatively, the trace generator evaluates it exactly.
+    """
+
+    lhs: Affine
+    op: str  # one of <, <=, >, >=, ==, !=
+    rhs: Affine
+
+    _OPS = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValidationError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return self._OPS[self.op](self.lhs.evaluate(env), self.rhs.evaluate(env))
+
+    @property
+    def symbols(self) -> frozenset:
+        return self.lhs.symbols | self.rhs.symbols
+
+
+def affine_tuple(values: Iterable[IntLike]) -> Tuple[Affine, ...]:
+    """Coerce an iterable of ints/affines to a tuple of Affine."""
+    return tuple(Affine.of(v) for v in values)

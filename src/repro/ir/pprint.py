@@ -1,0 +1,111 @@
+"""Pretty-printer for IR programs, optionally annotated with marking.
+
+Produces a Fortran-flavoured listing; with a :class:`repro.compiler.Marking`
+supplied, every shared read is annotated with the compiler's decision the
+way the paper's figures present marked source::
+
+    DOALL i = 1, 30
+      B[i, j] = f(A[-1 + i, j]{TIME-READ/strict}, ...)
+    END DOALL
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.program import (
+    ArrayRef,
+    Call,
+    CriticalSection,
+    If,
+    Loop,
+    Node,
+    Program,
+    ScalarAssign,
+    Statement,
+)
+
+
+class _Printer:
+    def __init__(self, program: Program, marking=None):
+        self.program = program
+        self.marking = marking
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append("  " * self.depth + text)
+
+    def ref(self, ref: ArrayRef, is_read: bool) -> str:
+        text = str(ref)
+        if not is_read or self.marking is None:
+            return text
+        if self.program.arrays[ref.array].sharing.value != "shared":
+            return text
+        from repro.compiler.marking import RefMark
+
+        if self.marking.tpi_mark(ref.site) is RefMark.TIME_READ:
+            flavor = "strict" if self.marking.is_strict(ref.site) else "ts"
+            return f"{text}{{TIME-READ/{flavor}}}"
+        return text
+
+    def body(self, nodes) -> None:
+        self.depth += 1
+        for node in nodes:
+            self.node(node)
+        self.depth -= 1
+
+    def node(self, node: Node) -> None:
+        if isinstance(node, Statement):
+            writes = ", ".join(self.ref(w, False) for w in node.writes)
+            reads = ", ".join(self.ref(r, True) for r in node.reads)
+            if writes and reads:
+                self.emit(f"{writes} = f({reads})")
+            elif writes:
+                self.emit(f"{writes} = f()")
+            else:
+                self.emit(f"use({reads})")
+        elif isinstance(node, ScalarAssign):
+            self.emit(f"{node.name} = {node.expr}")
+        elif isinstance(node, Loop):
+            kind = "DOALL" if node.parallel else "DO"
+            step = f", {node.step}" if node.step != 1 else ""
+            self.emit(f"{kind} {node.index} = {node.lo}, {node.hi}{step}")
+            self.body(node.body)
+            self.emit(f"END {kind}")
+        elif isinstance(node, If):
+            self.emit(f"IF ({node.cond.lhs} {node.cond.op} {node.cond.rhs}) THEN")
+            self.body(node.then)
+            if node.els:
+                self.emit("ELSE")
+                self.body(node.els)
+            self.emit("END IF")
+        elif isinstance(node, Call):
+            self.emit(f"CALL {node.callee}")
+        elif isinstance(node, CriticalSection):
+            self.emit(f"CRITICAL ({node.lock})")
+            self.body(node.body)
+            self.emit("END CRITICAL")
+
+    def run(self) -> str:
+        p = self.program
+        self.emit(f"PROGRAM {p.name}")
+        self.depth += 1
+        for name, value in p.params.items():
+            self.emit(f"PARAMETER {name} = {value}")
+        for array in p.arrays.values():
+            shape = ", ".join(str(d) for d in array.shape)
+            private = "  ! private" if array.sharing.value == "private" else ""
+            self.emit(f"ARRAY {array.name}({shape}){private}")
+        self.depth -= 1
+        for proc in p.procedures.values():
+            self.emit("")
+            self.emit(f"SUBROUTINE {proc.name}")
+            self.body(proc.body)
+            self.emit(f"END SUBROUTINE {proc.name}")
+        return "\n".join(self.lines)
+
+
+def format_program(program: Program, marking=None) -> str:
+    """Render a program listing, annotating reads when marking is given."""
+    return _Printer(program, marking).run()

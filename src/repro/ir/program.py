@@ -1,0 +1,212 @@
+"""The parallel program IR.
+
+A :class:`Program` owns shared/private :class:`Array` declarations and a set
+of :class:`Procedure` bodies.  Bodies are trees of nodes:
+
+* :class:`Statement` — a group of array reads feeding array writes, with an
+  attached compute cost in cycles;
+* :class:`ScalarAssign` — assignment to an integer scalar (subscript helper);
+* :class:`Loop` — serial loop or parallel DOALL over an index variable;
+* :class:`If` — two-way branch on an affine comparison;
+* :class:`Call` — invocation of another procedure (no arguments; procedures
+  communicate through global arrays, like Fortran COMMON blocks);
+* :class:`CriticalSection` — a lock-protected region (Section 5 of the paper).
+
+Every :class:`ArrayRef` carries a globally unique ``site`` id assigned by the
+builder; the compiler's marking pass keys its READ/TIME_READ decisions on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.ir.expr import Affine, Cond
+
+
+class Sharing(enum.Enum):
+    SHARED = "shared"
+    PRIVATE = "private"
+
+
+@dataclass(frozen=True)
+class Array:
+    """A declared array with a concrete rectangular shape (row-major).
+
+    ``element_words`` is the access-unit size in 32-bit words (2 for
+    double precision): the paper notes its scheme "can be adapted to
+    various cache organizations including multi-word cache lines and
+    byte-addressable architectures" because each access unit is a distinct
+    compiler-analyzed variable — the simulator models a multi-word unit as
+    that many consecutive word accesses, all carrying the reference's
+    marking.  (Sub-word units are the same model with a smaller word.)
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    sharing: Sharing = Sharing.SHARED
+    element_words: int = 1
+
+    def __post_init__(self) -> None:
+        if self.element_words < 1:
+            raise ValueError("element_words must be at least 1")
+
+    @property
+    def n_elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def size_words(self) -> int:
+        return self.n_elements * self.element_words
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A subscripted reference ``array[subs...]`` at a marked source site."""
+
+    array: str
+    subscripts: Tuple[Affine, ...]
+    site: int = -1  # unique reference-site id, assigned by the builder
+
+    def __str__(self) -> str:
+        subs = ", ".join(str(s) for s in self.subscripts)
+        return f"{self.array}[{subs}]"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """``writes[...] <- f(reads[...])`` plus ``work`` compute cycles."""
+
+    reads: Tuple[ArrayRef, ...] = ()
+    writes: Tuple[ArrayRef, ...] = ()
+    work: int = 1
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ScalarAssign:
+    """``scalar := expr`` where expr is affine over indices/params/scalars."""
+
+    name: str
+    expr: Affine
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop over ``index`` from ``lo`` to ``hi`` inclusive.
+
+    ``parallel=True`` makes it a DOALL: its iterations are independent tasks
+    and its execution is one parallel *epoch*.  DOALLs must not contain other
+    DOALLs (directly or through calls); the validator enforces this.
+    """
+
+    index: str
+    lo: Affine
+    hi: Affine
+    body: Tuple["Node", ...]
+    step: int = 1
+    parallel: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.step == 0:
+            raise ValueError("loop step must be non-zero")
+
+
+@dataclass(frozen=True)
+class If:
+    """Two-way branch on an affine comparison."""
+
+    cond: Cond
+    then: Tuple["Node", ...]
+    els: Tuple["Node", ...] = ()
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Call:
+    """Invocation of another procedure by name (globals-only linkage)."""
+
+    callee: str
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class CriticalSection:
+    """A region protected by a named lock.
+
+    Inside a DOALL body this models inter-thread communication through a
+    critical section: the paper requires reads inside it to be treated as
+    potentially stale (Time-Reads) and its writes to be globally performed
+    before the lock release.
+    """
+
+    lock: str
+    body: Tuple["Node", ...]
+    label: str = ""
+
+
+Node = Union[Statement, ScalarAssign, Loop, If, Call, CriticalSection]
+
+
+@dataclass(frozen=True)
+class Procedure:
+    name: str
+    body: Tuple[Node, ...]
+
+
+@dataclass
+class Program:
+    """A whole program: arrays, procedures, parameters, entry point."""
+
+    name: str
+    arrays: Dict[str, Array] = field(default_factory=dict)
+    procedures: Dict[str, Procedure] = field(default_factory=dict)
+    params: Dict[str, int] = field(default_factory=dict)
+    entry: str = "main"
+    n_sites: int = 0
+
+    def array(self, name: str) -> Array:
+        return self.arrays[name]
+
+    def procedure(self, name: str) -> Procedure:
+        return self.procedures[name]
+
+    def bind_params(self, overrides: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+        """Parameter environment: declared defaults plus overrides."""
+        env = dict(self.params)
+        if overrides:
+            unknown = set(overrides) - set(env)
+            if unknown:
+                raise KeyError(f"unknown parameters {sorted(unknown)} for program {self.name}")
+            env.update(overrides)
+        return env
+
+
+def walk(nodes: Tuple[Node, ...]):
+    """Yield every node in a body, depth-first, pre-order."""
+    for node in nodes:
+        yield node
+        if isinstance(node, Loop):
+            yield from walk(node.body)
+        elif isinstance(node, If):
+            yield from walk(node.then)
+            yield from walk(node.els)
+        elif isinstance(node, CriticalSection):
+            yield from walk(node.body)
+
+
+def refs_of(stmt: Statement) -> List[Tuple[ArrayRef, bool]]:
+    """All references of a statement as ``(ref, is_write)`` pairs, reads first."""
+    pairs = [(r, False) for r in stmt.reads]
+    pairs.extend((w, True) for w in stmt.writes)
+    return pairs

@@ -1,0 +1,153 @@
+"""Structural validation of IR programs.
+
+Checks performed:
+
+* the entry procedure exists and every Call resolves;
+* the call graph is acyclic (no recursion — Fortran-77 style);
+* array references match declared ranks and use declared arrays;
+* every symbol in a subscript / bound / condition is a loop index in scope,
+  a declared parameter, or a previously assigned scalar;
+* DOALL bodies contain no nested DOALL, directly or through calls;
+* critical sections contain no DOALL (a lock cannot be held across an
+  epoch barrier);
+* loop indices do not shadow parameters or outer indices;
+* reference site ids are unique.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.common.errors import ValidationError
+from repro.ir.program import (
+    ArrayRef,
+    Call,
+    CriticalSection,
+    If,
+    Loop,
+    Node,
+    Program,
+    ScalarAssign,
+    Statement,
+    walk,
+)
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`ValidationError` on the first structural problem found."""
+    if program.entry not in program.procedures:
+        raise ValidationError(f"entry procedure {program.entry!r} is not defined")
+    _check_call_graph(program)
+    seen_sites: Set[int] = set()
+    for proc in program.procedures.values():
+        scope = set(program.params)
+        _check_body(program, proc.body, scope, in_doall=False,
+                    in_critical=False, seen_sites=seen_sites, proc=proc.name)
+
+
+def _check_call_graph(program: Program) -> None:
+    color: Dict[str, int] = {}  # 0 visiting, 1 done
+
+    def visit(name: str, chain: Tuple[str, ...]) -> None:
+        if name not in program.procedures:
+            raise ValidationError(f"call to undefined procedure {name!r}")
+        state = color.get(name)
+        if state == 1:
+            return
+        if state == 0:
+            raise ValidationError(f"recursive call chain {' -> '.join(chain + (name,))}")
+        color[name] = 0
+        for node in walk(program.procedures[name].body):
+            if isinstance(node, Call):
+                visit(node.callee, chain + (name,))
+        color[name] = 1
+
+    visit(program.entry, ())
+
+
+def _contains_doall(program: Program, name: str, memo: Dict[str, bool]) -> bool:
+    if name in memo:
+        return memo[name]
+    memo[name] = False
+    result = False
+    for node in walk(program.procedures[name].body):
+        if isinstance(node, Loop) and node.parallel:
+            result = True
+        elif isinstance(node, Call) and _contains_doall(program, node.callee, memo):
+            result = True
+    memo[name] = result
+    return result
+
+
+def _check_body(program: Program, body: Tuple[Node, ...], scope: Set[str],
+                in_doall: bool, in_critical: bool, seen_sites: Set[int],
+                proc: str) -> None:
+    memo: Dict[str, bool] = {}
+    local_scope = set(scope)
+    for node in body:
+        if isinstance(node, Statement):
+            for ref in (*node.reads, *node.writes):
+                _check_ref(program, ref, local_scope, seen_sites, proc)
+        elif isinstance(node, ScalarAssign):
+            _check_symbols(node.expr.symbols, local_scope, proc,
+                           what=f"scalar assignment to {node.name!r}")
+            local_scope.add(node.name)
+        elif isinstance(node, Loop):
+            if node.parallel and in_doall:
+                raise ValidationError(
+                    f"nested DOALL over {node.index!r} in procedure {proc!r}")
+            if node.parallel and in_critical:
+                raise ValidationError(
+                    f"DOALL over {node.index!r} inside a critical section "
+                    f"in {proc!r} (a lock cannot span an epoch barrier)")
+            if node.index in local_scope:
+                raise ValidationError(
+                    f"loop index {node.index!r} shadows an enclosing symbol in {proc!r}")
+            _check_symbols(node.lo.symbols | node.hi.symbols, local_scope, proc,
+                           what=f"bounds of loop {node.index!r}")
+            inner = set(local_scope)
+            inner.add(node.index)
+            _check_body(program, node.body, inner,
+                        in_doall or node.parallel, in_critical, seen_sites, proc)
+        elif isinstance(node, If):
+            _check_symbols(node.cond.symbols, local_scope, proc, what="if condition")
+            _check_body(program, node.then, set(local_scope), in_doall,
+                        in_critical, seen_sites, proc)
+            _check_body(program, node.els, set(local_scope), in_doall,
+                        in_critical, seen_sites, proc)
+        elif isinstance(node, CriticalSection):
+            _check_body(program, node.body, set(local_scope), in_doall,
+                        True, seen_sites, proc)
+        elif isinstance(node, Call):
+            if ((in_doall or in_critical)
+                    and _contains_doall(program, node.callee, memo)):
+                raise ValidationError(
+                    f"call to {node.callee!r} inside a "
+                    f"{'DOALL' if in_doall else 'critical section'} "
+                    "would nest parallelism")
+        else:  # pragma: no cover - dataclass union is closed
+            raise ValidationError(f"unknown node type {type(node).__name__}")
+
+
+def _check_ref(program: Program, ref: ArrayRef, scope: Set[str],
+               seen_sites: Set[int], proc: str) -> None:
+    if ref.array not in program.arrays:
+        raise ValidationError(f"reference to undeclared array {ref.array!r} in {proc!r}")
+    array = program.arrays[ref.array]
+    if len(ref.subscripts) != array.rank:
+        raise ValidationError(
+            f"{ref} has {len(ref.subscripts)} subscripts; {ref.array!r} has rank {array.rank}")
+    if ref.site < 0:
+        raise ValidationError(f"{ref} was created outside a ProgramBuilder (site id missing)")
+    if ref.site in seen_sites:
+        raise ValidationError(f"site id {ref.site} reused (refs must not be shared between statements)")
+    seen_sites.add(ref.site)
+    for sub in ref.subscripts:
+        _check_symbols(sub.symbols, scope, proc, what=str(ref))
+
+
+def _check_symbols(symbols, scope: Set[str], proc: str, what: str) -> None:
+    missing = set(symbols) - scope
+    if missing:
+        raise ValidationError(
+            f"unbound symbol(s) {sorted(missing)} in {what} (procedure {proc!r})")

@@ -1,0 +1,16 @@
+"""Memory-system substrate: caches, write buffers, network, shadow memory."""
+
+from repro.memsys.cache import Cache, CacheWay
+from repro.memsys.memory import ShadowMemory
+from repro.memsys.network import KruskalSnirNetwork
+from repro.memsys.wbuffer import CoalescingWriteBuffer, FifoWriteBuffer, make_write_buffer
+
+__all__ = [
+    "Cache",
+    "CacheWay",
+    "CoalescingWriteBuffer",
+    "FifoWriteBuffer",
+    "KruskalSnirNetwork",
+    "ShadowMemory",
+    "make_write_buffer",
+]

@@ -1,0 +1,184 @@
+"""A set-associative cache with per-word coherence state.
+
+The paper's TPI hardware extends every cache *word* with a k-bit timetag and
+a valid bit; hardware directory schemes need per-line state plus per-word
+used-bits (for the Tullsen-Eggers false-sharing classification).  This one
+cache structure carries all of it; each coherence scheme uses the fields it
+needs and ignores the rest.
+
+State is held in numpy arrays indexed ``[set, way]`` (line granularity) or
+``[set, way, word]`` (word granularity), which keeps the per-event Python
+work small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.common.config import CacheConfig
+
+
+@dataclass(frozen=True)
+class CacheWay:
+    """Location of a line inside the cache (set index + way index)."""
+
+    set_index: int
+    way: int
+
+
+class Cache:
+    """Per-processor cache; addresses are word addresses.
+
+    Line bookkeeping:
+
+    * ``tags[s, w]`` — line address stored, or -1;
+    * ``dirty[s, w]`` — write-back dirty bit (HW scheme);
+    * ``inval_reason[s, w]`` — 0 none, 1 true-sharing, 2 false-sharing:
+      why the line's last copy was invalidated (classification state);
+
+    Word bookkeeping:
+
+    * ``word_valid[s, w, i]`` — per-word valid bit (TPI/SC);
+    * ``timetag[s, w, i]`` — per-word timetag (TPI);
+    * ``version[s, w, i]`` — shadow: the global memory version this cached
+      word corresponds to (simulator-only, used for correctness checks and
+      unnecessary-miss classification);
+    * ``used[s, w, i]`` — referenced by this processor since the line was
+      filled (Tullsen-Eggers).
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.line_words = config.line_words
+        self.n_sets = config.n_sets
+        self.assoc = config.associativity
+        shape_line = (self.n_sets, self.assoc)
+        shape_word = (self.n_sets, self.assoc, self.line_words)
+        self.tags = np.full(shape_line, -1, dtype=np.int64)
+        self.dirty = np.zeros(shape_line, dtype=bool)
+        self.inval_reason = np.zeros(shape_line, dtype=np.int8)
+        self.lru = np.zeros(shape_line, dtype=np.int64)
+        self.word_valid = np.zeros(shape_word, dtype=bool)
+        self.timetag = np.zeros(shape_word, dtype=np.int64)
+        self.version = np.zeros(shape_word, dtype=np.int64)
+        self.used = np.zeros(shape_word, dtype=bool)
+        self._tick = 0
+
+    # ------------------------------------------------------------ geometry
+
+    def split(self, addr: int) -> Tuple[int, int, int]:
+        """(line address, set index, word offset) of a word address."""
+        line = addr // self.line_words
+        return line, line % self.n_sets, addr % self.line_words
+
+    def line_base(self, line_addr: int) -> int:
+        return line_addr * self.line_words
+
+    # -------------------------------------------------------------- lookup
+
+    def probe(self, line_addr: int) -> Optional[CacheWay]:
+        """Locate a line; None on miss.  Does not touch LRU state."""
+        set_index = line_addr % self.n_sets
+        ways = self.tags[set_index]
+        for way in range(self.assoc):
+            if ways[way] == line_addr:
+                return CacheWay(set_index, way)
+        return None
+
+    def touch(self, loc: CacheWay) -> None:
+        """Record a use for LRU replacement."""
+        self._tick += 1
+        self.lru[loc.set_index, loc.way] = self._tick
+
+    # ---------------------------------------------------------- fill/evict
+
+    def victim(self, line_addr: int) -> CacheWay:
+        """Pick the way a new line will occupy (invalid first, then LRU)."""
+        set_index = line_addr % self.n_sets
+        for way in range(self.assoc):
+            if self.tags[set_index, way] == -1:
+                return CacheWay(set_index, way)
+        way = int(np.argmin(self.lru[set_index]))
+        return CacheWay(set_index, way)
+
+    def evict(self, loc: CacheWay) -> Tuple[int, bool]:
+        """Remove the line at ``loc``; returns (line address, was dirty)."""
+        s, w = loc.set_index, loc.way
+        line_addr = int(self.tags[s, w])
+        was_dirty = bool(self.dirty[s, w])
+        self.tags[s, w] = -1
+        self.dirty[s, w] = False
+        self.inval_reason[s, w] = 0
+        self.word_valid[s, w, :] = False
+        self.used[s, w, :] = False
+        return line_addr, was_dirty
+
+    def install(self, line_addr: int) -> Tuple[CacheWay, Optional[int], bool]:
+        """Install a line, evicting if needed.
+
+        Returns ``(location, evicted line address or None, evicted dirty)``.
+        All word-valid bits are set (a fill brings the whole line); timetags,
+        versions and used bits are the caller's responsibility.  Installing
+        an already-resident line refreshes it in place (never duplicates).
+        """
+        loc = self.probe(line_addr) or self.victim(line_addr)
+        evicted: Optional[int] = None
+        evicted_dirty = False
+        if self.tags[loc.set_index, loc.way] != -1:
+            evicted, evicted_dirty = self.evict(loc)
+            if evicted == line_addr:
+                evicted = None  # in-place refresh, nothing actually left
+        s, w = loc.set_index, loc.way
+        self.tags[s, w] = line_addr
+        self.dirty[s, w] = False
+        self.inval_reason[s, w] = 0
+        self.word_valid[s, w, :] = True
+        self.used[s, w, :] = False
+        self.touch(loc)
+        return loc, evicted, evicted_dirty
+
+    # --------------------------------------------------------- invalidation
+
+    def invalidate_line(self, loc: CacheWay, reason: int = 0) -> None:
+        """Coherence invalidation (keeps the classification reason)."""
+        s, w = loc.set_index, loc.way
+        self.tags[s, w] = -1
+        self.dirty[s, w] = False
+        self.word_valid[s, w, :] = False
+        self.used[s, w, :] = False
+        self.inval_reason[s, w] = reason
+
+    def two_phase_reset(self, phase_lo: int, phase_hi: int,
+                        modulus: int) -> int:
+        """Invalidate every word whose k-bit timetag lies in
+        [phase_lo, phase_hi] (values mod ``modulus``).
+
+        Returns the number of words invalidated.  This is the paper's
+        two-phase hardware reset: fired when the epoch counter crosses into
+        the phase whose timetag values are about to be recycled.  It bounds
+        every surviving word's true age below 2^k, which is what makes the
+        hardware's modular age comparisons exact.
+        """
+        ktags = self.timetag % modulus
+        mask = (self.word_valid
+                & (ktags >= phase_lo) & (ktags <= phase_hi)
+                & (self.tags != -1)[:, :, None])
+        count = int(mask.sum())
+        self.word_valid[mask] = False
+        return count
+
+    def flush_all_words(self) -> int:
+        """Invalidate every word (the naive wrap-around strategy)."""
+        mask = self.word_valid & (self.tags != -1)[:, :, None]
+        count = int(mask.sum())
+        self.word_valid[:, :, :] = False
+        return count
+
+    # ------------------------------------------------------------ counters
+
+    @property
+    def occupancy(self) -> int:
+        return int((self.tags != -1).sum())

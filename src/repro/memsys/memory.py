@@ -1,0 +1,44 @@
+"""Shadow main memory: word versions for correctness and classification.
+
+The simulator does not track data values; it tracks, per word, a
+monotonically increasing *version*, the last writer, and the version as of
+the last barrier (epoch start).  This is enough to
+
+* verify coherence safety (a read must never observe a version older than
+  the one globally visible at the reader's last synchronization point);
+* classify unnecessary misses (a Time-Read miss whose cached version still
+  equals the memory version was compiler conservatism, not true sharing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+
+
+class ShadowMemory:
+    def __init__(self, total_words: int):
+        if total_words <= 0:
+            raise SimulationError("shadow memory needs a positive size")
+        self.total_words = total_words
+        self.version = np.zeros(total_words, dtype=np.int64)
+        self.last_writer = np.full(total_words, -1, dtype=np.int32)
+        self.epoch_version = np.zeros(total_words, dtype=np.int64)
+
+    def write(self, addr: int, proc: int) -> int:
+        """Perform a write; returns the new version of the word."""
+        self.version[addr] += 1
+        self.last_writer[addr] = proc
+        return int(self.version[addr])
+
+    def read_version(self, addr: int) -> int:
+        return int(self.version[addr])
+
+    def barrier(self) -> None:
+        """All writes so far become globally visible (epoch boundary)."""
+        np.copyto(self.epoch_version, self.version)
+
+    def visible_floor(self, addr: int) -> int:
+        """Minimum version a coherent read may legally return."""
+        return int(self.epoch_version[addr])

@@ -1,0 +1,19 @@
+"""Analytic storage-overhead models (Figure 5 of the paper)."""
+
+from repro.overhead.storage import (
+    OverheadRow,
+    figure5_table,
+    full_map_overhead,
+    limitless_overhead,
+    render_figure5,
+    tpi_overhead,
+)
+
+__all__ = [
+    "OverheadRow",
+    "figure5_table",
+    "full_map_overhead",
+    "limitless_overhead",
+    "render_figure5",
+    "tpi_overhead",
+]

@@ -1,0 +1,8 @@
+"""Execution-driven simulator: engine, metrics, and the one-call runner."""
+
+from repro.sim.metrics import SimResult
+from repro.sim.engine import Engine
+from repro.sim.runner import PreparedRun, prepare, simulate, simulate_all
+
+__all__ = ["Engine", "PreparedRun", "SimResult", "prepare", "simulate",
+           "simulate_all"]

@@ -1,0 +1,243 @@
+"""The execution-driven simulation engine.
+
+Processors keep local clocks; within an epoch the engine always advances the
+processor with the smallest clock (a heap), so cross-processor protocol
+interactions (directory invalidations, lock hand-offs) happen in a
+plausible, deterministic global order that *depends on the timing* — the
+defining property of execution-driven simulation [32].  Epoch boundaries
+are barriers: every processor synchronizes to the slowest one, plus the
+loop-setup and task-dispatch overheads of Figure 8's simulated scheduling
+operations.
+
+Network load feeds back: after each epoch the Kruskal-Snir model's offered
+load is updated from the words injected during the epoch, so traffic-heavy
+programs see longer miss latencies in subsequent epochs (smoothed
+exponentially; see ``MachineConfig.network_smoothing``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.coherence.api import CoherenceScheme, SimContext, make_scheme
+from repro.common.config import MachineConfig
+from repro.common.errors import SimulationError
+from repro.compiler.marking import Marking
+from repro.memsys.memory import ShadowMemory
+from repro.memsys.network import KruskalSnirNetwork
+from repro.sim.metrics import EpochRecord, SimResult
+from repro.trace.events import EventKind, Trace
+
+_LOCK_RETRY_CYCLES = 16
+
+
+@dataclass
+class _LockState:
+    held: bool = False
+    holder: int = -1
+    free_time: int = 0
+    spins: int = 0
+
+
+class Engine:
+    """Drives one trace through one coherence scheme."""
+
+    def __init__(self, trace: Trace, marking: Marking, machine: MachineConfig,
+                 scheme_name: str):
+        if trace.layout is None:
+            raise SimulationError("trace has no memory layout")
+        self.trace = trace
+        self.machine = machine
+        self.shadow = ShadowMemory(trace.layout.total_words)
+        self.network = KruskalSnirNetwork(machine)
+        self.ctx = SimContext(machine=machine, marking=marking,
+                              shadow=self.shadow, network=self.network,
+                              layout=trace.layout)
+        self.scheme: CoherenceScheme = make_scheme(scheme_name, self.ctx)
+        self.result = SimResult(scheme=self.scheme.name,
+                                program=trace.program_name,
+                                n_procs=machine.n_procs)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> SimResult:
+        global_time = 0
+        for epoch in self.trace.epochs:
+            global_time = self._run_epoch(epoch, global_time)
+        self.result.exec_cycles = global_time
+        self.result.epochs = len(self.trace.epochs)
+        self.result.final_network_load = self.network.rho
+        self._collect_scheme_extras()
+        return self.result
+
+    def _run_epoch(self, epoch, global_time: int) -> int:
+        machine = self.machine
+        stalls = self.scheme.begin_epoch(epoch.index, epoch.parallel)
+        epoch_words = 0
+        breakdown = self.result.breakdown
+        reads_before = self.result.reads
+        misses_before = self.result.read_misses
+
+        base = global_time + machine.epoch_setup_cycles
+        clocks: Dict[int, int] = {}
+        heap: List = []
+        for rank, task in enumerate(epoch.tasks):
+            start = base + machine.task_dispatch_cycles * rank
+            breakdown["dispatch"] += start - global_time
+            stall = stalls.get(task.proc, 0)
+            breakdown["reset_stall"] += stall
+            start += stall
+            clocks[task.proc] = start
+            if task.events:
+                heapq.heappush(heap, (start, task.proc, rank, 0))
+
+        locks: Dict[int, _LockState] = {}
+        tasks_by_rank = list(epoch.tasks)
+        # Compute work is charged once per event, even when a lock spin
+        # re-processes the same index.
+        work_charged = [-1] * len(tasks_by_rank)
+
+        while heap:
+            clock, proc, rank, idx = heapq.heappop(heap)
+            task = tasks_by_rank[rank]
+            event = task.events[idx]
+            if idx > work_charged[rank]:
+                clock += event.work
+                breakdown["busy"] += event.work
+                work_charged[rank] = idx
+            advance = True
+
+            if event.kind is EventKind.READ:
+                r = self.scheme.read(proc, event.addr, event.site,
+                                     event.shared, event.in_critical)
+                clock += r.latency
+                if r.kind.is_miss:
+                    breakdown["read_stall"] += r.latency
+                else:
+                    breakdown["busy"] += r.latency
+                self.result.note_read(event.shared, r.kind, r.latency)
+                self.result.note_traffic(r.read_words, r.write_words,
+                                         r.coherence_words)
+                epoch_words += r.total_words
+            elif event.kind is EventKind.WRITE:
+                r = self.scheme.write(proc, event.addr, event.site,
+                                      event.shared, event.in_critical)
+                clock += r.latency
+                if r.latency > machine.hit_latency:
+                    # Only a stalling consistency model produces this.
+                    breakdown["write_stall"] += r.latency
+                else:
+                    breakdown["busy"] += r.latency
+                self.result.note_write(event.shared)
+                self.result.note_traffic(r.read_words, r.write_words,
+                                         r.coherence_words)
+                epoch_words += r.total_words
+            elif event.kind is EventKind.LOCK:
+                state = locks.setdefault(event.lock, _LockState())
+                if state.held:
+                    # Spin: jump past the holder's current position and retry.
+                    waited = max(clock + _LOCK_RETRY_CYCLES,
+                                 clocks.get(state.holder, clock) + 1) - clock
+                    clock += waited
+                    breakdown["sync_stall"] += waited
+                    advance = False
+                    state.spins += 1
+                    if state.spins > 10 ** 6:
+                        raise SimulationError(
+                            f"processor {proc} spun on lock {event.lock} "
+                            "a million times: probable deadlock")
+                else:
+                    waited = max(clock, state.free_time) - clock
+                    acquire = self.network.control_latency()
+                    clock += waited + acquire
+                    breakdown["sync_stall"] += waited + acquire
+                    state.held = True
+                    state.holder = proc
+                    self.result.extra["lock_acquires"] = (
+                        self.result.extra.get("lock_acquires", 0) + 1)
+            elif event.kind is EventKind.UNLOCK:
+                state = locks.setdefault(event.lock, _LockState())
+                if not state.held or state.holder != proc:
+                    raise SimulationError(
+                        f"processor {proc} released lock {event.lock} it "
+                        "does not hold (mis-migrated critical section?)")
+                r = self.scheme.release_fence(proc)
+                clock += r.latency
+                breakdown["sync_stall"] += r.latency
+                self.result.note_traffic(r.read_words, r.write_words,
+                                         r.coherence_words)
+                epoch_words += r.total_words
+                state.held = False
+                state.holder = -1
+                state.free_time = clock
+            else:  # pragma: no cover - closed enum
+                raise SimulationError(f"unknown event kind {event.kind}")
+
+            clocks[proc] = clock
+            next_idx = idx + 1 if advance else idx
+            if next_idx < len(task.events):
+                heapq.heappush(heap, (clock, proc, rank, next_idx))
+            elif advance:
+                clocks[proc] = clock + task.extra_work
+                breakdown["busy"] += task.extra_work
+
+        held = [lock for lock, state in locks.items() if state.held]
+        if held:
+            raise SimulationError(f"epoch {epoch.index} ended with locks held: {held}")
+
+        barrier_words = self.scheme.end_epoch(epoch.write_key)
+        for proc, words in barrier_words.items():
+            if words:
+                self.result.note_traffic(0, words, 0)
+                epoch_words += words
+        self.shadow.barrier()
+
+        end_time = max(clocks.values(), default=global_time)
+        end_time = max(end_time, base)
+        # Barrier idle: participating processors wait for the slowest one;
+        # processors with no task in this epoch idle through all of it.
+        for proc_clock in clocks.values():
+            breakdown["barrier_idle"] += end_time - proc_clock
+        breakdown["barrier_idle"] += ((machine.n_procs - len(clocks))
+                                      * (end_time - global_time))
+        epoch_cycles = max(1, end_time - global_time)
+        self.network.observe_epoch(epoch_words, epoch_cycles,
+                                   self.machine.network_smoothing)
+        if machine.record_epochs:
+            self.result.epoch_records.append(EpochRecord(
+                index=epoch.index, parallel=epoch.parallel,
+                label=epoch.label, cycles=epoch_cycles,
+                reads=self.result.reads - reads_before,
+                read_misses=self.result.read_misses - misses_before,
+                words_injected=epoch_words,
+                network_load=self.network.rho))
+        return end_time
+
+    def _collect_scheme_extras(self) -> None:
+        scheme = self.scheme
+        if hasattr(scheme, "resets"):
+            self.result.resets = scheme.resets
+            self.result.reset_invalidations = scheme.reset_invalidations
+        if hasattr(scheme, "time_reads"):
+            self.result.extra["time_reads"] = scheme.time_reads
+            self.result.extra["time_read_hits"] = scheme.time_read_hits
+            self.result.extra["strict_reads"] = scheme.strict_reads
+        if hasattr(scheme, "invalidations_sent"):
+            self.result.extra["invalidations_sent"] = scheme.invalidations_sent
+            self.result.extra["false_invalidations"] = scheme.false_invalidations
+        if hasattr(scheme, "software_traps"):
+            self.result.extra["software_traps"] = scheme.software_traps
+        if hasattr(scheme, "updates_sent"):
+            self.result.extra["updates_sent"] = scheme.updates_sent
+            self.result.extra["buffered_writes"] = scheme.total_writes
+            if scheme.merged_writes:
+                self.result.extra["merged_writes"] = scheme.merged_writes
+        if hasattr(scheme, "wbuffers"):
+            self.result.extra["buffered_writes"] = sum(
+                wb.total_writes for wb in scheme.wbuffers)
+            merged = sum(getattr(wb, "merged_writes", 0)
+                         for wb in scheme.wbuffers)
+            if merged:
+                self.result.extra["merged_writes"] = merged

@@ -1,0 +1,67 @@
+"""One-call simulation facade.
+
+``prepare`` runs the compiler (marking) and the trace generator once;
+``simulate`` drives any scheme over the prepared artifacts, so comparing the
+four schemes on one benchmark pays the front-end cost once::
+
+    run = prepare(workload, machine, params={"N": 64})
+    results = {name: simulate(run, name) for name in ("base", "sc", "tpi", "hw")}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Union
+
+from repro.common.config import MachineConfig, default_machine
+from repro.compiler.marking import Marking, MarkingOptions, mark_program
+from repro.ir.program import Program
+from repro.sim.engine import Engine
+from repro.sim.metrics import SimResult
+from repro.trace.events import Trace
+from repro.trace.generate import generate_trace
+from repro.trace.schedule import MigrationSpec
+
+
+@dataclass
+class PreparedRun:
+    """Compiler + trace-generator output, reusable across schemes."""
+
+    program: Program
+    machine: MachineConfig
+    marking: Marking
+    trace: Trace
+
+
+def prepare(program: Program, machine: Optional[MachineConfig] = None,
+            params: Optional[Dict[str, int]] = None,
+            opts: Optional[MarkingOptions] = None,
+            migration: Optional[MigrationSpec] = None) -> PreparedRun:
+    """Compile and trace a program for a machine configuration."""
+    machine = machine or default_machine()
+    marking = mark_program(program, params, opts)
+    trace = generate_trace(program, machine, params, migration)
+    return PreparedRun(program=program, machine=machine, marking=marking,
+                       trace=trace)
+
+
+def simulate(run: Union[Program, PreparedRun], scheme: str,
+             machine: Optional[MachineConfig] = None,
+             params: Optional[Dict[str, int]] = None,
+             opts: Optional[MarkingOptions] = None,
+             migration: Optional[MigrationSpec] = None) -> SimResult:
+    """Simulate one scheme; accepts a Program or a PreparedRun."""
+    if isinstance(run, Program):
+        run = prepare(run, machine, params, opts, migration)
+    return Engine(run.trace, run.marking, run.machine, scheme).run()
+
+
+def simulate_all(run: Union[Program, PreparedRun],
+                 schemes: Iterable[str] = ("base", "sc", "tpi", "hw"),
+                 machine: Optional[MachineConfig] = None,
+                 params: Optional[Dict[str, int]] = None,
+                 opts: Optional[MarkingOptions] = None) -> Dict[str, SimResult]:
+    """Simulate several schemes over one prepared run."""
+    if isinstance(run, Program):
+        run = prepare(run, machine, params, opts)
+    return {scheme: simulate(run, scheme) for scheme in schemes}

@@ -1,0 +1,128 @@
+"""Parameter-sweep utility: grid studies over machine configurations.
+
+A :class:`Sweep` takes a base machine and named *axes*, each a list of
+``(label, transform)`` pairs where the transform maps a machine to a new
+machine.  ``run()`` produces one :class:`SweepPoint` per cell of the
+cartesian grid, with the compiler/trace front-end shared per distinct
+machine.  Axis helpers build the common cases::
+
+    from repro.sim.sweep import Sweep, axis_cache_lines, axis_timetag_bits
+
+    sweep = Sweep(build_workload("ocean"), schemes=("tpi", "hw"))
+    sweep.add_axis("line", axis_cache_lines([1, 4, 16]))
+    sweep.add_axis("k", axis_timetag_bits([2, 4, 8]))
+    for point in sweep.run():
+        print(point.labels, point.result.miss_rate)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.config import (
+    CacheConfig,
+    MachineConfig,
+    TpiConfig,
+    WriteBufferKind,
+    default_machine,
+)
+from repro.ir.program import Program
+from repro.sim.metrics import SimResult
+from repro.sim.runner import prepare, simulate
+
+Transform = Callable[[MachineConfig], MachineConfig]
+Axis = List[Tuple[str, Transform]]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulated grid cell."""
+
+    labels: Dict[str, str]
+    scheme: str
+    result: SimResult
+
+
+class Sweep:
+    """Cartesian sweep over machine-transform axes."""
+
+    def __init__(self, program: Program,
+                 schemes: Sequence[str] = ("tpi", "hw"),
+                 base: Optional[MachineConfig] = None,
+                 params: Optional[Dict[str, int]] = None):
+        self.program = program
+        self.schemes = tuple(schemes)
+        self.base = base or default_machine()
+        self.params = params
+        self._axes: List[Tuple[str, Axis]] = []
+
+    def add_axis(self, name: str, axis: Axis) -> "Sweep":
+        if not axis:
+            raise ValueError(f"axis {name!r} has no points")
+        self._axes.append((name, axis))
+        return self
+
+    def run(self) -> List[SweepPoint]:
+        if not self._axes:
+            raise ValueError("sweep has no axes; add at least one")
+        points: List[SweepPoint] = []
+        names = [name for name, _ in self._axes]
+        for combo in itertools.product(*(axis for _, axis in self._axes)):
+            machine = self.base
+            labels = {}
+            for name, (label, transform) in zip(names, combo):
+                machine = transform(machine)
+                labels[name] = label
+            run = prepare(self.program, machine, params=self.params)
+            for scheme in self.schemes:
+                points.append(SweepPoint(labels=dict(labels), scheme=scheme,
+                                         result=simulate(run, scheme)))
+        return points
+
+
+def axis_cache_lines(line_words: Iterable[int]) -> Axis:
+    def make(words: int) -> Transform:
+        def transform(m: MachineConfig) -> MachineConfig:
+            return m.with_(cache=CacheConfig(size_bytes=m.cache.size_bytes,
+                                             line_words=words,
+                                             associativity=m.cache.associativity))
+        return transform
+    return [(f"{w * 4}B", make(w)) for w in line_words]
+
+
+def axis_cache_sizes(kilobytes: Iterable[int]) -> Axis:
+    def make(kb: int) -> Transform:
+        def transform(m: MachineConfig) -> MachineConfig:
+            return m.with_(cache=CacheConfig(size_bytes=kb * 1024,
+                                             line_words=m.cache.line_words,
+                                             associativity=m.cache.associativity))
+        return transform
+    return [(f"{kb}KB", make(kb)) for kb in kilobytes]
+
+
+def axis_timetag_bits(bits: Iterable[int]) -> Axis:
+    def make(k: int) -> Transform:
+        def transform(m: MachineConfig) -> MachineConfig:
+            return m.with_(tpi=TpiConfig(timetag_bits=k,
+                                         reset_policy=m.tpi.reset_policy,
+                                         reset_stall_cycles=m.tpi.reset_stall_cycles))
+        return transform
+    return [(f"k={k}", make(k)) for k in bits]
+
+
+def axis_procs(counts: Iterable[int]) -> Axis:
+    def make(p: int) -> Transform:
+        def transform(m: MachineConfig) -> MachineConfig:
+            return m.with_(n_procs=p)
+        return transform
+    return [(f"P={p}", make(p)) for p in counts]
+
+
+def axis_write_buffer() -> Axis:
+    def make(kind: WriteBufferKind) -> Transform:
+        def transform(m: MachineConfig) -> MachineConfig:
+            return m.with_(write_buffer=kind)
+        return transform
+    return [(kind.value, make(kind)) for kind in WriteBufferKind]

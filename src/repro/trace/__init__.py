@@ -1,0 +1,18 @@
+"""Execution model: turning a marked program into per-processor event streams."""
+
+from repro.trace.events import EventKind, MemEvent, Task, TraceEpoch, Trace
+from repro.trace.layout import MemoryLayout
+from repro.trace.schedule import MigrationSpec, schedule_iterations
+from repro.trace.generate import generate_trace
+
+__all__ = [
+    "EventKind",
+    "MemEvent",
+    "MemoryLayout",
+    "MigrationSpec",
+    "Task",
+    "Trace",
+    "TraceEpoch",
+    "generate_trace",
+    "schedule_iterations",
+]

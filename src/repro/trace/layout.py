@@ -1,0 +1,90 @@
+"""Word-addressed memory layout for program arrays.
+
+Shared arrays get one line-aligned allocation; private arrays get one copy
+per processor (Fortran-style task-private storage), so they still occupy
+cache space and can conflict with shared data in the simulated caches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.ir.program import Array, Program, Sharing
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+class MemoryLayout:
+    """Assigns base word addresses to every (array, processor) instance."""
+
+    def __init__(self, program: Program, n_procs: int, line_words: int = 4):
+        self.n_procs = n_procs
+        self.line_words = line_words
+        self._bases: Dict[Tuple[str, int], int] = {}
+        self._arrays: Dict[str, Array] = dict(program.arrays)
+        cursor = 0
+        for array in program.arrays.values():
+            copies = 1 if array.sharing is Sharing.SHARED else n_procs
+            for copy in range(copies):
+                cursor = _align_up(cursor, line_words)
+                key = (array.name, 0 if array.sharing is Sharing.SHARED else copy)
+                self._bases[key] = cursor
+                cursor += array.size_words
+        self.total_words = _align_up(cursor, line_words)
+
+    def base(self, array: str, proc: int = 0) -> int:
+        arr = self._arrays[array]
+        key = (array, 0 if arr.sharing is Sharing.SHARED else proc)
+        return self._bases[key]
+
+    def addr_of(self, array: str, indices: Tuple[int, ...], proc: int = 0) -> int:
+        """Word address of ``array[indices]`` (row-major), bounds-checked.
+
+        Multi-word elements return their first word; the element occupies
+        ``element_words`` consecutive words from there.
+        """
+        arr = self._arrays[array]
+        flat = 0
+        for index, extent in zip(indices, arr.shape):
+            if not 0 <= index < extent:
+                raise SimulationError(
+                    f"subscript {indices} out of bounds for {array}{arr.shape}")
+            flat = flat * extent + index
+        return self.base(array, proc) + flat * arr.element_words
+
+    def owner_region(self, array: str) -> Tuple[int, int]:
+        """(base, size_words) of the shared allocation, for diagnostics."""
+        arr = self._arrays[array]
+        return self.base(array, 0), arr.size_words
+
+    def shared_region_table(self) -> Tuple["np.ndarray", List[str]]:
+        """Word-address -> array-index table (for per-array state).
+
+        Returns ``(region_of, names)``: ``region_of[addr]`` is the index of
+        the array containing the word, ``names[i]`` its name.  Private
+        arrays are included — every per-processor copy maps to the same
+        region — because under task migration their storage becomes
+        cross-processor-visible and the TPI W registers must cover them.
+        """
+        region_of = np.full(self.total_words, -1, dtype=np.int32)
+        names: List[str] = []
+        index: Dict[str, int] = {}
+        for (name, _copy), base in self._bases.items():
+            array = self._arrays[name]
+            if name not in index:
+                index[name] = len(names)
+                names.append(name)
+            region_of[base:base + array.size_words] = index[name]
+        return region_of, names
+
+    def array_of_addr(self, addr: int) -> str:
+        """Reverse lookup for debugging (linear scan; not on hot paths)."""
+        for (name, copy), base in self._bases.items():
+            if base <= addr < base + self._arrays[name].size_words:
+                return name
+        raise SimulationError(f"address {addr} maps to no array")

@@ -1,0 +1,70 @@
+"""DOALL iteration scheduling and task-migration injection.
+
+The paper's execution model assigns the iterations of a DOALL to processors;
+the compiler cannot know the assignment, which is exactly why Time-Reads
+exist.  Three policies are provided (Figure 8's simulations use static
+chunking):
+
+* ``CHUNK`` — contiguous blocks, best spatial locality per processor;
+* ``INTERLEAVED`` — iteration *k* on processor *k mod P*;
+* ``SELF`` — dynamic self-scheduling; approximated as arrival-order
+  round-robin, which matches a zero-variance machine.
+
+Task migration (Section 5 of the paper) is modeled by
+:class:`MigrationSpec`: selected iterations execute their first half on the
+originally scheduled processor and the second half on another one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.config import SchedulePolicy
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MigrationSpec:
+    """Deterministic migration injection: every ``every``-th scheduled
+    iteration migrates mid-task to the next processor (mod P)."""
+
+    every: int = 0  # 0 disables migration
+
+    def __post_init__(self) -> None:
+        if self.every < 0:
+            raise ConfigError("migration period must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.every > 0
+
+    def migrates(self, global_iteration_counter: int) -> bool:
+        return self.enabled and global_iteration_counter % self.every == self.every - 1
+
+
+def schedule_iterations(iterations: Sequence[int], n_procs: int,
+                        policy: SchedulePolicy) -> List[Tuple[int, List[int]]]:
+    """Assign iteration values to processors.
+
+    Returns ``(proc, iterations)`` pairs in processor order; processors with
+    no work are omitted.
+    """
+    n = len(iterations)
+    if n == 0:
+        return []
+    buckets: Dict[int, List[int]] = {}
+    if policy is SchedulePolicy.CHUNK:
+        base, extra = divmod(n, n_procs)
+        start = 0
+        for proc in range(n_procs):
+            size = base + (1 if proc < extra else 0)
+            if size:
+                buckets[proc] = list(iterations[start:start + size])
+            start += size
+    elif policy in (SchedulePolicy.INTERLEAVED, SchedulePolicy.SELF):
+        for k, value in enumerate(iterations):
+            buckets.setdefault(k % n_procs, []).append(value)
+    else:  # pragma: no cover - enum is closed
+        raise ConfigError(f"unknown schedule policy {policy}")
+    return sorted(buckets.items())

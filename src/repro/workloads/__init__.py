@@ -1,0 +1,19 @@
+"""Perfect-Club-like benchmark kernels.
+
+The paper evaluates six Perfect Club programs (SPEC77, OCEAN, FLO52, QCD2,
+TRFD, and one more) parallelized by Polaris.  The original Fortran sources
+and the Polaris front-end are not reproducible here, so each module builds
+a synthetic kernel **in our IR** that models the original program's
+dominant parallel-loop structure and shared-memory reference stream — the
+quantities the coherence schemes actually respond to: sharing pattern,
+reuse distance across epochs, stride, read/write mix, and serial/parallel
+alternation.  The per-module docstrings record the correspondence; see
+DESIGN.md section 2 for the substitution argument.
+
+The exact sixth benchmark is not named in the recovered text; an ARC2D-style
+ADI kernel stands in for it (noted in EXPERIMENTS.md).
+"""
+
+from repro.workloads.registry import WORKLOADS, build_workload, workload_names
+
+__all__ = ["WORKLOADS", "build_workload", "workload_names"]

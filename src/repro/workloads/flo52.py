@@ -1,0 +1,108 @@
+"""FLO52 — transonic flow past an airfoil, multigrid Euler solver
+(Perfect Club).
+
+The original runs Runge-Kutta smoothing sweeps on a sequence of grids
+(multigrid W-cycles), transferring residuals down (restriction) and
+corrections up (prolongation).
+
+Modeled here: three grid levels sharing one flat array per quantity with
+power-of-two strides.  Each cycle runs smoothing DOALLs at every level
+(stride-2^l accesses — strided regular sections and per-level sharing
+patterns), a strided restriction (fine reads -> coarse writes) and
+prolongation (coarse reads -> fine writes).  The metric terms are
+read-only after setup.  Level changes shift which processors touch which
+elements, creating cross-epoch true sharing with *varying reuse distance* —
+the pattern that separates timestamp Time-Reads from strict ones.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+
+def build(n: int = 64, cycles: int = 2, levels: int = 3) -> Program:
+    if n % (1 << (levels - 1)):
+        raise ValueError("n must be divisible by 2^(levels-1)")
+    b = ProgramBuilder("flo52", params={"CYC": cycles})
+    b.array("W", (n,))  # solution
+    b.array("R", (n,))  # residual
+    b.array("METRIC", (n,))  # read-only after setup
+    b.array("DT", (1,))  # global time step (serial reduction)
+
+    with b.procedure("setup"):
+        with b.doall("i", 0, n - 1, label="setup") as i:
+            b.stmt(writes=[b.at("W", i)], work=1)
+            b.stmt(writes=[b.at("METRIC", i)], work=2)
+        b.stmt(writes=[b.at("DT", 0)], work=1)
+
+    with b.procedure("timestep"):
+        # Serial CFL reduction on the master: sample the fine grid and
+        # publish the new global time step (read by every smoothing task).
+        with b.serial("cfl", 0, n - 1, step=max(1, n // 16)) as cfl:
+            b.stmt(writes=[b.at("DT", 0)],
+                   reads=[b.at("DT", 0), b.at("W", cfl)], work=2)
+
+    for level in range(levels):
+        stride = 1 << level
+        count = n // stride
+
+        with b.procedure(f"smooth_l{level}"):
+            with b.doall(f"s{level}", 1, count - 2,
+                         label=f"smooth{level}") as s:
+                b.stmt(writes=[b.at("R", s * stride)],
+                       reads=[b.at("W", s * stride - stride),
+                              b.at("W", s * stride + stride),
+                              b.at("METRIC", s * stride),
+                              b.at("DT", 0)],
+                       work=5)
+                b.stmt(writes=[b.at("W", s * stride)],
+                       reads=[b.at("R", s * stride)], work=2)
+
+        with b.procedure(f"bc_l{level}"):
+            # Far-field boundary fix-up at this level (master-only).
+            b.stmt(writes=[b.at("W", 0)], reads=[b.at("W", stride)], work=2)
+            b.stmt(writes=[b.at("W", n - stride)],
+                   reads=[b.at("W", n - 2 * stride)], work=2)
+
+    for level in range(levels - 1):
+        stride = 1 << level
+        coarse = stride * 2
+        count = n // coarse
+
+        with b.procedure(f"restrict_l{level}"):
+            with b.doall(f"r{level}", 1, count - 2,
+                         label=f"restrict{level}") as r:
+                b.stmt(writes=[b.at("R", r * coarse)],
+                       reads=[b.at("R", r * coarse - stride),
+                              b.at("R", r * coarse + stride)],
+                       work=3)
+
+        with b.procedure(f"prolong_l{level}"):
+            with b.doall(f"p{level}", 1, count - 2,
+                         label=f"prolong{level}") as p:
+                b.stmt(writes=[b.at("W", p * coarse - stride)],
+                       reads=[b.at("W", p * coarse),
+                              b.at("W", p * coarse - coarse)],
+                       work=3)
+
+    with b.procedure("main"):
+        b.call("setup")
+        with b.serial("c", 0, b.p("CYC") - 1):
+            b.call("timestep")
+            # Down-leg of the W-cycle...
+            for level in range(levels - 1):
+                b.call(f"smooth_l{level}")
+                b.call(f"bc_l{level}")
+                b.call(f"restrict_l{level}")
+            b.call(f"smooth_l{levels - 1}")
+            # ...and back up.
+            for level in reversed(range(levels - 1)):
+                b.call(f"prolong_l{level}")
+                b.call(f"smooth_l{level}")
+
+    return b.build()
+
+
+SMALL = dict(n=32, cycles=1, levels=3)
+LARGE = dict(n=512, cycles=4, levels=4)

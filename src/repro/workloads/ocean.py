@@ -1,0 +1,107 @@
+"""OCEAN — 2-D ocean basin circulation (Perfect Club).
+
+The original solves the dynamical equations of a rectangular ocean basin:
+leapfrog time-stepping over several 2-D fields with neighbour-difference
+operators, periodic boundary fix-ups, and read-only forcing/metric tables.
+
+Modeled here, per timestep:
+
+* a DOALL row sweep computing vorticity from two velocity fields at the
+  previous time level (neighbour reads: true sharing at chunk boundaries);
+* a DOALL leapfrog update rotating three time levels (self-owned rewrites:
+  the producer-consumer pattern where TPI's W registers preserve the
+  writer's own copies);
+* a *serial* boundary fix-up epoch touching the basin edges (master-writes
+  -> parallel-reads Time-Read pattern);
+* a red-black *stream-function relaxation* whose parity branch gives
+  data-dependent control flow inside tasks;
+* a wind-forcing table refreshed by the master every other step (an If
+  with epochs inside, exercising the EFG's fork/join paths);
+* read-only Coriolis/metric tables reused every epoch (loop-invariant data
+  that must keep hitting under TPI).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+
+def build(n: int = 24, steps: int = 4) -> Program:
+    b = ProgramBuilder("ocean", params={"T": steps})
+    b.array("UA", (n, n))  # velocity, previous level
+    b.array("UB", (n, n))  # velocity, current level
+    b.array("VORT", (n, n))
+    b.array("PSI", (n, n))  # stream function
+    b.array("WIND", (n,))  # forcing, refreshed by the master
+    b.array("CORIOLIS", (n, n))  # read-only after init
+    b.array("row_tmp", (n,), private=True)
+
+    with b.procedure("init"):
+        with b.doall("i", 0, n - 1, label="init") as i:
+            with b.serial("j", 0, n - 1) as j:
+                b.stmt(writes=[b.at("UA", i, j)], work=1)
+                b.stmt(writes=[b.at("UB", i, j)], work=1)
+                b.stmt(writes=[b.at("PSI", i, j)], work=1)
+                b.stmt(writes=[b.at("CORIOLIS", i, j)], work=2)
+            b.stmt(writes=[b.at("WIND", i)], work=1)
+
+    with b.procedure("vorticity"):
+        with b.doall("i", 1, n - 2, label="vort") as i:
+            with b.serial("j", 1, n - 2) as j:
+                b.stmt(writes=[b.at("VORT", i, j)],
+                       reads=[b.at("UB", i - 1, j), b.at("UB", i + 1, j),
+                              b.at("UB", i, j - 1), b.at("UB", i, j + 1),
+                              b.at("CORIOLIS", i, j)],
+                       work=6)
+
+    with b.procedure("leapfrog"):
+        with b.doall("i", 1, n - 2, label="leap") as i:
+            with b.serial("j", 1, n - 2) as j:
+                b.stmt(writes=[b.at("row_tmp", j)],
+                       reads=[b.at("UA", i, j), b.at("VORT", i, j)],
+                       work=3)
+                b.stmt(writes=[b.at("UA", i, j)], reads=[b.at("UB", i, j)],
+                       work=1)
+                b.stmt(writes=[b.at("UB", i, j)], reads=[b.at("row_tmp", j)],
+                       work=1)
+
+    with b.procedure("relax_psi"):
+        # One red-black relaxation sweep of the stream function; the
+        # parity branch selects which neighbours feed the update.
+        with b.doall("i", 1, n - 2, label="relax") as i:
+            with b.serial("j", 1, n - 2) as j:
+                with b.when(b.v("j"), "<", n // 2):
+                    b.stmt(writes=[b.at("PSI", i, j)],
+                           reads=[b.at("PSI", i - 1, j), b.at("PSI", i + 1, j),
+                                  b.at("VORT", i, j)],
+                           work=4)
+                b.stmt(writes=[b.at("PSI", i, j)],
+                       reads=[b.at("PSI", i, j), b.at("WIND", i)], work=2)
+
+    with b.procedure("boundary"):
+        # Serial fix-up on the master: periodic edges.
+        with b.serial("j", 0, n - 1) as j:
+            b.stmt(writes=[b.at("UB", 0, j)], reads=[b.at("UB", n - 2, j)],
+                   work=1)
+            b.stmt(writes=[b.at("UB", n - 1, j)], reads=[b.at("UB", 1, j)],
+                   work=1)
+
+    with b.procedure("main"):
+        b.call("init")
+        with b.serial("t", 0, b.p("T") - 1):
+            b.call("vorticity")
+            b.call("relax_psi")
+            b.call("leapfrog")
+            b.call("boundary")
+            with b.when(b.v("t"), "<", max(1, steps // 2)):
+                # Early steps: the master refreshes the wind forcing.
+                with b.serial("w", 0, n - 1) as w:
+                    b.stmt(writes=[b.at("WIND", w)],
+                           reads=[b.at("WIND", w)], work=1)
+
+    return b.build()
+
+
+SMALL = dict(n=12, steps=2)
+LARGE = dict(n=64, steps=6)

@@ -1,0 +1,108 @@
+"""QCD2 — lattice gauge theory, quenched QCD simulation (Perfect Club).
+
+The original performs heat-bath/metropolis updates of SU(3) gauge links on
+a 4-D space-time lattice: each link update gathers "staples" from
+neighbouring links in several directions, and observables (plaquette
+averages) are accumulated globally.
+
+Modeled here: the 4-D lattice is flattened to link arrays indexed by
+site, one per (modelled) direction; a sweep updates each site's link from
+neighbours at *multiple strides* (the flattened images of the 4
+dimensions) and from the *other* direction's links (the staple coupling),
+producing fine-grained scattered sharing — many lines holding words
+written by different processors.  This is exactly the access pattern that
+drives the directory scheme's extra coherence transactions and higher
+average miss latency on QCD2 in the paper's latency table.  A
+critical-section plaquette accumulation exercises the Section-5 lock
+support; an acceptance test (If on a site-dependent expression) gives
+data-dependent control flow; a serial gauge-fixing epoch renormalizes a
+stripe of links between sweeps (master-write -> parallel-read).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+
+def build(nsite: int = 256, sweeps: int = 3, nx: int = 4) -> Program:
+    """``nsite`` flattened lattice sites; neighbour strides 1, nx, nx*nx."""
+    b = ProgramBuilder("qcd2", params={"SW": sweeps})
+    b.array("LINK", (nsite,))
+    b.array("LINK2", (nsite,))  # second direction
+    b.array("STAPLE", (nsite,))
+    b.array("PLAQ", (1,))
+    b.array("BETA", (4,))  # couplings: read-only
+    b.array("hits", (4,), private=True)  # acceptance counters
+    sx, sy = 1, nx
+    sz = nx * nx
+
+    with b.procedure("init"):
+        with b.doall("i", 0, nsite - 1, label="qinit") as i:
+            b.stmt(writes=[b.at("LINK", i)], work=1)
+            b.stmt(writes=[b.at("LINK2", i)], work=1)
+        with b.serial("d", 0, 3) as d:
+            b.stmt(writes=[b.at("BETA", d)], work=1)
+
+    with b.procedure("staples"):
+        # Gather staples from neighbours in three flattened directions and
+        # from the orthogonal direction's links (the staple coupling);
+        # modular wraparound is approximated by clamping the sweep range.
+        hi = nsite - 1 - sz
+        with b.doall("s", sz, hi, label="staples") as s:
+            b.stmt(writes=[b.at("STAPLE", s)],
+                   reads=[b.at("LINK", s - sx), b.at("LINK", s + sx),
+                          b.at("LINK", s - sy), b.at("LINK", s + sy),
+                          b.at("LINK", s - sz), b.at("LINK", s + sz),
+                          b.at("LINK2", s), b.at("LINK2", s + sy),
+                          b.at("BETA", 0)],
+                   work=16)
+
+    with b.procedure("update"):
+        hi = nsite - 1 - sz
+        with b.doall("s", sz, hi, label="update") as s:
+            # Data-dependent acceptance: even sites take the cheap path.
+            with b.when(b.v("s"), "<", (nsite // 2)):
+                b.stmt(writes=[b.at("LINK", s)],
+                       reads=[b.at("STAPLE", s), b.at("BETA", 1)], work=8)
+                b.stmt(writes=[b.at("hits", 0)], reads=[b.at("hits", 0)],
+                       work=1)
+            b.stmt(writes=[b.at("LINK", s)],
+                   reads=[b.at("STAPLE", s), b.at("BETA", 2)], work=4)
+
+    with b.procedure("update_dir2"):
+        # The orthogonal direction's heat-bath, coupled back to LINK.
+        hi = nsite - 1 - sy
+        with b.doall("u", sy, hi, label="update2") as u:
+            b.stmt(writes=[b.at("LINK2", u)],
+                   reads=[b.at("LINK", u), b.at("LINK", u + sy),
+                          b.at("LINK2", u - sy), b.at("BETA", 3)],
+                   work=10)
+
+    with b.procedure("gauge_fix"):
+        # Serial renormalization of the first time-slice (master-only),
+        # re-read by every processor in the next sweep.
+        with b.serial("g", 0, sz - 1) as g:
+            b.stmt(writes=[b.at("LINK", g)], reads=[b.at("LINK", g)], work=2)
+
+    with b.procedure("measure"):
+        with b.doall("s", 0, nsite - 1, step=8, label="measure") as s:
+            with b.critical("plaq_lock"):
+                b.stmt(writes=[b.at("PLAQ", 0)],
+                       reads=[b.at("PLAQ", 0), b.at("LINK", s)], work=2)
+
+    with b.procedure("main"):
+        b.call("init")
+        with b.serial("t", 0, b.p("SW") - 1):
+            b.call("staples")
+            b.call("update")
+            b.call("update_dir2")
+            b.call("gauge_fix")
+            b.call("measure")
+        b.stmt(reads=[b.at("PLAQ", 0)], work=1)
+
+    return b.build()
+
+
+SMALL = dict(nsite=128, sweeps=2, nx=4)
+LARGE = dict(nsite=2048, sweeps=4, nx=8)

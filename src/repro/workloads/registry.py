@@ -1,0 +1,59 @@
+"""Workload registry: names -> builders and standard size presets."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ir.program import Program
+from repro.workloads import arc2d, flo52, ocean, qcd2, spec77, trfd
+
+WORKLOADS: Dict[str, Callable[..., Program]] = {
+    "spec77": spec77.build,
+    "ocean": ocean.build,
+    "flo52": flo52.build,
+    "qcd2": qcd2.build,
+    "trfd": trfd.build,
+    "arc2d": arc2d.build,
+}
+
+SMALL_SIZES: Dict[str, dict] = {
+    "spec77": spec77.SMALL,
+    "ocean": ocean.SMALL,
+    "flo52": flo52.SMALL,
+    "qcd2": qcd2.SMALL,
+    "trfd": trfd.SMALL,
+    "arc2d": arc2d.SMALL,
+}
+
+LARGE_SIZES: Dict[str, dict] = {
+    "spec77": spec77.LARGE,
+    "ocean": ocean.LARGE,
+    "flo52": flo52.LARGE,
+    "qcd2": qcd2.LARGE,
+    "trfd": trfd.LARGE,
+    "arc2d": arc2d.LARGE,
+}
+
+
+def workload_names() -> List[str]:
+    return list(WORKLOADS)
+
+
+def build_workload(name: str, size: str = "default", **overrides) -> Program:
+    """Build a benchmark by name.
+
+    ``size`` is ``"default"`` (the evaluation sizes), ``"small"`` (quick
+    test sizes), or ``"large"`` (longer runs with bigger working sets);
+    keyword overrides are passed to the builder.
+    """
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}")
+    kwargs: dict = {}
+    if size == "small":
+        kwargs.update(SMALL_SIZES[name])
+    elif size == "large":
+        kwargs.update(LARGE_SIZES[name])
+    elif size != "default":
+        raise KeyError(f"unknown size preset {size!r} (small | default | large)")
+    kwargs.update(overrides)
+    return WORKLOADS[name](**kwargs)

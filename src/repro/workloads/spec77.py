@@ -1,0 +1,114 @@
+"""SPEC77 — global spectral weather simulation (Perfect Club).
+
+The original transforms atmospheric fields between grid space and spectral
+space every timestep: Fourier transforms along latitude circles, Legendre
+transforms across latitudes, and a (cheap, serial-ish) update of the
+spectral coefficients.
+
+Modeled here, per timestep:
+
+* a *grid->spectral* DOALL over latitudes, each task reading an entire
+  shared spectral coefficient row set (broadcast read sharing of data that
+  changes only once per step — reuse distance of a full step, which
+  timestamp Time-Reads exploit);
+* a *serial* spectral update epoch on the master (the paper's
+  serial-write -> parallel-read pattern, hit by every processor next step);
+* a *spectral->grid* DOALL with strided, butterfly-like access (power-of-two
+  strides crossing cache-line boundaries);
+* a *semi-implicit time filter* (serial) coupling two spectral fields —
+  master-written data that every processor re-reads next step;
+* a *zonal energy diagnostic* accumulating through a critical section
+  (inter-thread communication, Section 5 of the paper);
+* a read-only Gaussian-weights table used in every epoch.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+
+def build(nlat: int = 16, nspec: int = 64, steps: int = 3) -> Program:
+    b = ProgramBuilder("spec77", params={"T": steps})
+    b.array("GRID", (nlat, nspec))
+    b.array("SPEC", (nspec,))
+    b.array("DIV", (nspec,))  # divergence field, filter-coupled to SPEC
+    b.array("FORCING", (nspec,))
+    b.array("WEIGHTS", (nlat,))  # read-only after init
+    b.array("ENERGY", (1,))
+    b.array("work", (nspec,), private=True)
+
+    with b.procedure("init"):
+        with b.doall("l", 0, nlat - 1, label="winit") as l:
+            b.stmt(writes=[b.at("WEIGHTS", l)], work=1)
+            with b.serial("m0", 0, nspec - 1) as m0:
+                b.stmt(writes=[b.at("GRID", l, m0)], work=1)
+        with b.serial("k", 0, nspec - 1) as k:
+            b.stmt(writes=[b.at("SPEC", k)], work=1)
+            b.stmt(writes=[b.at("DIV", k)], work=1)
+            b.stmt(writes=[b.at("FORCING", k)], work=1)
+        b.stmt(writes=[b.at("ENERGY", 0)], work=1)
+
+    with b.procedure("to_spectral"):
+        # Each latitude reads the whole spectral state (broadcast sharing).
+        with b.doall("l", 0, nlat - 1, label="tospec") as l:
+            with b.serial("m", 0, nspec - 1) as m:
+                b.stmt(writes=[b.at("work", m)],
+                       reads=[b.at("GRID", l, m), b.at("SPEC", m),
+                              b.at("WEIGHTS", l)],
+                       work=4)
+            b.stmt(writes=[b.at("GRID", l, 0)], reads=[b.at("work", 0)],
+                   work=1)
+
+    with b.procedure("spectral_update"):
+        # Serial epoch on the master: advance the coefficients.
+        with b.serial("m", 0, nspec - 1) as m:
+            b.stmt(writes=[b.at("SPEC", m)],
+                   reads=[b.at("SPEC", m), b.at("FORCING", m)], work=2)
+
+    with b.procedure("time_filter"):
+        # Robert-Asselin-style semi-implicit filter: the two spectral
+        # fields damp each other (serial, master-only).
+        with b.serial("f", 0, nspec - 1) as f:
+            b.stmt(writes=[b.at("DIV", f)],
+                   reads=[b.at("DIV", f), b.at("SPEC", f)], work=3)
+            b.stmt(writes=[b.at("SPEC", f)],
+                   reads=[b.at("DIV", f)], work=1)
+
+    with b.procedure("energy_diag"):
+        # Zonal kinetic-energy diagnostic: per-latitude partial sums folded
+        # into one global accumulator under a lock.
+        with b.doall("z", 0, nlat - 1, label="energy") as z:
+            with b.serial("q", 0, nspec // 8 - 1) as q:
+                b.stmt(writes=[b.at("work", q)],
+                       reads=[b.at("GRID", z, q * 8), b.at("WEIGHTS", z)],
+                       work=2)
+            with b.critical("energy_lock"):
+                b.stmt(writes=[b.at("ENERGY", 0)],
+                       reads=[b.at("ENERGY", 0), b.at("work", 0)], work=2)
+
+    with b.procedure("to_grid"):
+        # Butterfly-ish strided writes back to grid space.
+        with b.doall("l", 0, nlat - 1, label="togrid") as l:
+            with b.serial("m", 0, nspec // 4 - 1) as m:
+                b.stmt(writes=[b.at("GRID", l, m * 4)],
+                       reads=[b.at("SPEC", m * 4), b.at("WEIGHTS", l)],
+                       work=3)
+                b.stmt(writes=[b.at("GRID", l, m * 4 + 2)],
+                       reads=[b.at("SPEC", m * 4 + 2)], work=3)
+
+    with b.procedure("main"):
+        b.call("init")
+        with b.serial("t", 0, b.p("T") - 1):
+            b.call("to_spectral")
+            b.call("spectral_update")
+            b.call("time_filter")
+            b.call("to_grid")
+            b.call("energy_diag")
+        b.stmt(reads=[b.at("ENERGY", 0)], work=1)
+
+    return b.build()
+
+
+SMALL = dict(nlat=8, nspec=32, steps=2)
+LARGE = dict(nlat=32, nspec=256, steps=4)

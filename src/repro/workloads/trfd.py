@@ -1,0 +1,85 @@
+"""TRFD — two-electron integral transformation (Perfect Club).
+
+The original: a quantum-chemistry kernel dominated by the transformation
+``X := C^T * V * C`` over triangular pair indices ``ij = i*(i+1)/2 + j``.
+Polaris parallelizes the pair loops into DOALLs; each task *accumulates*
+into its output elements across the contraction index, producing many
+repeated writes to the same words — the redundant write traffic the paper
+singles TRFD out for (and which a coalescing write buffer removes).
+
+Modeled here:
+
+* accumulation chains per output element (three writes per element per
+  contraction step) inside ``half_transform``;
+* a genuine triangular pair walk in ``pair_reduce`` driven by the induction
+  scalar ``ij0 := ij0 + r + 1`` — not affine in the loop index, so the
+  compiler's GSA-lite analysis must widen it and mark the reads
+  conservatively, exactly the imprecision real TRFD induces;
+* serial transform-setup epochs (master rewrites a C row each pass) feeding
+  parallel epochs: the serial-write -> parallel-read Time-Read pattern.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+
+def build(n: int = 16, m: int = 6, passes: int = 2) -> Program:
+    """Build the TRFD-like kernel.
+
+    ``n`` basis functions give ``n*(n+1)/2`` pair indices; ``m`` is the
+    contraction length (accumulation chain per output element); ``passes``
+    repeats the two half-transformations.
+    """
+    nij = n * (n + 1) // 2
+    b = ProgramBuilder("trfd", params={"PASSES": passes})
+    b.array("V", (nij, m))
+    b.array("C", (n, m))
+    b.array("X", (nij, m))
+    b.array("XRS", (nij,))
+    b.array("tmp", (m,), private=True)
+
+    with b.procedure("half_transform"):
+        with b.doall("ij", 0, nij - 1, label="trf1") as ij:
+            with b.serial("k", 0, m - 1) as k:
+                b.stmt(reads=[b.at("V", ij, k), b.at("C", 0, k)],
+                       writes=[b.at("tmp", k)], work=2)
+                b.stmt(reads=[b.at("tmp", k), b.at("X", ij, k)],
+                       writes=[b.at("X", ij, k)], work=2)
+                b.stmt(reads=[b.at("tmp", k), b.at("X", ij, k)],
+                       writes=[b.at("X", ij, k)], work=2)
+
+    with b.procedure("pair_reduce"):
+        # Triangular walk: row r owns pairs [ij0, ij0 + r]; ij0 advances by
+        # r+1 each outer iteration (induction scalar, range-widened by the
+        # compiler -> conservative whole-array sections).
+        ij0 = b.assign("ij0", 0)
+        with b.serial("r", 0, n - 1) as r:
+            with b.doall("j", 0, r, label="trf2") as j:
+                b.stmt(reads=[b.at("X", ij0 + j, 0), b.at("X", ij0 + j, 1)],
+                       writes=[b.at("XRS", ij0 + j)], work=3)
+            b.assign("ij0", ij0 + r + 1)
+
+    with b.procedure("normalize"):
+        # Normalize the reduced pair vector against its first element
+        # (parallel, broadcast-reading one hot word).
+        with b.doall("nz", 0, nij - 1, label="normalize") as nz:
+            b.stmt(writes=[b.at("XRS", nz)],
+                   reads=[b.at("XRS", nz), b.at("XRS", 0)], work=2)
+
+    with b.procedure("main"):
+        with b.serial("it", 0, b.p("PASSES") - 1):
+            # Serial setup epoch: the master rescales the first C row.
+            with b.serial("k0", 0, m - 1) as k0:
+                b.stmt(reads=[b.at("C", 0, k0)], writes=[b.at("C", 0, k0)],
+                       work=1)
+            b.call("half_transform")
+            b.call("pair_reduce")
+            b.call("normalize")
+
+    return b.build()
+
+
+SMALL = dict(n=8, m=4, passes=2)
+LARGE = dict(n=32, m=8, passes=3)

@@ -1,0 +1,88 @@
+"""Tests for the processor-cycle breakdown accounting."""
+
+import pytest
+
+from repro.common.config import (
+    ConsistencyModel,
+    TpiConfig,
+    default_machine,
+)
+from repro.ir import ProgramBuilder
+from repro.sim import prepare, simulate
+from repro.workloads import build_workload, workload_names
+
+
+def machine(**kw):
+    defaults = dict(n_procs=4, epoch_setup_cycles=10, task_dispatch_cycles=2)
+    defaults.update(kw)
+    return default_machine().with_(**defaults)
+
+
+class TestAccountingIdentity:
+    @pytest.mark.parametrize("name", workload_names())
+    @pytest.mark.parametrize("scheme", ("base", "sc", "tpi", "hw"))
+    def test_every_cycle_accounted(self, name, scheme):
+        run = prepare(build_workload(name, size="small"), machine())
+        r = simulate(run, scheme)
+        assert sum(r.breakdown.values()) == r.n_procs * r.exec_cycles
+
+    def test_identity_with_locks(self):
+        b = ProgramBuilder("locky")
+        b.array("acc", (1,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                with b.critical("L"):
+                    b.stmt(reads=[b.at("acc", 0)], writes=[b.at("acc", 0)],
+                           work=20)
+        r = simulate(b.build(), "tpi", machine())
+        assert sum(r.breakdown.values()) == r.n_procs * r.exec_cycles
+        assert r.breakdown["sync_stall"] > 0
+
+
+class TestCategories:
+    def test_read_stall_dominates_base(self):
+        run = prepare(build_workload("ocean", size="small"), machine())
+        base = simulate(run, "base")
+        f = base.breakdown_fractions()
+        assert f["read_stall"] > f["busy"]
+
+    def test_reset_stall_appears_with_tiny_tags(self):
+        m = machine(tpi=TpiConfig(timetag_bits=2, reset_stall_cycles=500))
+        run = prepare(build_workload("flo52", size="small"), m)
+        r = simulate(run, "tpi")
+        assert r.breakdown["reset_stall"] > 0
+
+    def test_write_stall_only_under_sequential_consistency(self):
+        run_weak = prepare(build_workload("ocean", size="small"), machine())
+        weak = simulate(run_weak, "tpi")
+        assert weak.breakdown["write_stall"] == 0
+        run_seq = prepare(build_workload("ocean", size="small"),
+                          machine(consistency=ConsistencyModel.SEQUENTIAL))
+        seq = simulate(run_seq, "tpi")
+        assert seq.breakdown["write_stall"] > 0
+
+    def test_imbalance_shows_as_barrier_idle(self):
+        b = ProgramBuilder("imbalance")
+        b.array("A", (4,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 3) as i:
+                with b.when(b.v("i"), "==", 0):
+                    b.stmt(writes=[b.at("A", 0)], work=50_000)
+                b.stmt(reads=[b.at("A", i)], work=1)
+        r = simulate(b.build(), "tpi", machine())
+        f = r.breakdown_fractions()
+        assert f["barrier_idle"] > 0.5  # three processors wait for one
+
+    def test_lock_spin_does_not_double_charge_work(self):
+        """Work attached to a LOCK event is charged once even if the lock
+        is contended and the event retries many times."""
+        b = ProgramBuilder("spin")
+        b.array("acc", (1,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 3) as i:
+                with b.critical("L"):
+                    b.stmt(reads=[b.at("acc", 0)], writes=[b.at("acc", 0)],
+                           work=1000)
+        r = simulate(b.build(), "tpi", machine())
+        # 4 tasks x (1000 work + 2 buffered writes...), so busy is bounded.
+        assert r.breakdown["busy"] <= 4 * 1000 + 100

@@ -1,0 +1,101 @@
+"""Tests for the CLI and the pretty-printer."""
+
+import pytest
+
+from repro.cli import main
+from repro.compiler import mark_program
+from repro.ir import ProgramBuilder
+from repro.ir.pprint import format_program
+
+
+class TestPrettyPrinter:
+    def build(self):
+        b = ProgramBuilder("pp", params={"T": 2})
+        b.array("A", (8,))
+        b.array("t", (4,), private=True)
+        refs = {}
+        with b.procedure("main"):
+            with b.serial("s", 0, b.p("T") - 1):
+                with b.doall("i", 0, 7) as i:
+                    refs["r"] = b.at("A", i)
+                    b.stmt(writes=[b.at("A", i)], reads=[refs["r"]], work=1)
+                with b.when(b.v("s"), "==", 0):
+                    b.stmt(writes=[b.at("t", 0)])
+                with b.critical("L"):
+                    b.stmt(reads=[b.at("A", 0)])
+        return b.build(), refs
+
+    def test_structure_rendered(self):
+        program, _ = self.build()
+        text = format_program(program)
+        assert "PROGRAM pp" in text
+        assert "DOALL i = 0, 7" in text
+        assert "DO s = 0, -1 + T" in text
+        assert "IF (s == 0) THEN" in text
+        assert "CRITICAL (L)" in text
+        assert "! private" in text
+
+    def test_marking_annotations(self):
+        program, refs = self.build()
+        marking = mark_program(program)
+        text = format_program(program, marking)
+        assert "TIME-READ" in text
+
+    def test_no_annotations_without_marking(self):
+        program, _ = self.build()
+        assert "TIME-READ" not in format_program(program)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tpi" in out and "ocean" in out and "fig11_miss_rates" in out
+
+    def test_show(self, capsys):
+        assert main(["show", "trfd", "--size", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "PROGRAM trfd" in out
+        assert "TIME-READ" in out
+
+    def test_show_no_marking(self, capsys):
+        assert main(["show", "trfd", "--size", "small", "--no-marking"]) == 0
+        assert "TIME-READ" not in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "ocean", "--size", "small", "--procs", "4",
+                     "--scheme", "tpi", "--scheme", "hw"]) == 0
+        out = capsys.readouterr().out
+        assert "ocean / tpi" in out and "ocean / hw" in out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "fig5_storage"]) == 0
+        assert "two-phase invalidation" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["show", "linpack"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCliSweep:
+    def test_sweep_table(self, capsys):
+        assert main(["sweep", "ocean", "--axis", "line=1,4",
+                     "--scheme", "tpi", "--size", "small"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert "cycles" in lines[0]
+        assert len(lines) == 3  # header + 2 grid cells
+
+    def test_sweep_unknown_axis_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "ocean", "--axis", "voltage=1,2"])
+
+    def test_sweep_wbuf_axis(self, capsys):
+        assert main(["sweep", "trfd", "--axis", "wbuf",
+                     "--scheme", "tpi", "--size", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo" in out and "coalescing" in out

@@ -1,0 +1,116 @@
+"""Micro-tests for the SC (cache-bypass) and BASE schemes."""
+
+import pytest
+
+from repro.coherence.api import SimContext, make_scheme
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.errors import ConfigError
+from repro.common.stats import MissKind
+from repro.compiler.epochs import EpochGraph
+from repro.compiler.marking import Marking, RefMark
+from repro.ir import ProgramBuilder
+from repro.memsys.memory import ShadowMemory
+from repro.memsys.network import KruskalSnirNetwork
+from repro.trace.layout import MemoryLayout
+
+BYPASS = 0
+NORMAL = 1
+
+
+def make_ctx(n_procs=2, words=256, line_words=4, lines=32):
+    machine = MachineConfig(
+        n_procs=n_procs,
+        cache=CacheConfig(size_bytes=lines * line_words * 4,
+                          line_words=line_words))
+    b = ProgramBuilder("rig")
+    b.array("M", (words,))
+    with b.procedure("main"):
+        pass
+    layout = MemoryLayout(b.build(), n_procs, line_words)
+    marking = Marking(
+        tpi={BYPASS: RefMark.TIME_READ, NORMAL: RefMark.READ},
+        sc={BYPASS: RefMark.TIME_READ, NORMAL: RefMark.READ},
+        graph=EpochGraph())
+    return SimContext(machine=machine, marking=marking,
+                      shadow=ShadowMemory(layout.total_words),
+                      network=KruskalSnirNetwork(machine), layout=layout)
+
+
+class TestSc:
+    def test_bypass_never_caches(self):
+        sc = make_scheme("sc", make_ctx())
+        r1 = sc.read(0, 8, BYPASS, True, False)
+        r2 = sc.read(0, 8, BYPASS, True, False)
+        assert r1.kind is MissKind.COLD
+        assert r2.kind is MissKind.REPLACEMENT  # still not cached
+        assert r1.read_words == r2.read_words == 2  # word fetch, no line
+
+    def test_bypass_sees_current_data(self):
+        ctx = make_ctx()
+        sc = make_scheme("sc", ctx)
+        ctx.shadow.write(8, proc=1)
+        r = sc.read(0, 8, BYPASS, True, False)
+        assert r.version == 1
+
+    def test_normal_read_caches_and_hits(self):
+        sc = make_scheme("sc", make_ctx())
+        assert sc.read(0, 8, NORMAL, True, False).kind is MissKind.COLD
+        assert sc.read(0, 8, NORMAL, True, False).kind is MissKind.HIT
+
+    def test_own_write_then_normal_read_hits(self):
+        sc = make_scheme("sc", make_ctx())
+        sc.write(0, 8, NORMAL, True, False)
+        assert sc.read(0, 8, NORMAL, True, False).kind is MissKind.HIT
+
+    def test_bypass_conservative_when_data_unchanged(self):
+        sc = make_scheme("sc", make_ctx())
+        sc.read(0, 8, NORMAL, True, False)  # cached, fresh
+        r = sc.read(0, 8, BYPASS, True, False)
+        assert r.kind is MissKind.CONSERVATIVE
+
+    def test_bypass_true_sharing_when_data_changed(self):
+        ctx = make_ctx()
+        sc = make_scheme("sc", ctx)
+        sc.read(0, 8, NORMAL, True, False)
+        sc.write(1, 8, NORMAL, True, False)  # other proc updates
+        r = sc.read(0, 8, BYPASS, True, False)
+        assert r.kind is MissKind.TRUE_SHARING
+
+    def test_critical_read_bypasses_even_unmarked(self):
+        sc = make_scheme("sc", make_ctx())
+        sc.read(0, 8, NORMAL, True, False)
+        r = sc.read(0, 8, NORMAL, True, in_critical=True)
+        assert r.kind is not MissKind.HIT
+
+
+class TestBase:
+    def test_shared_reads_always_remote(self):
+        base = make_scheme("base", make_ctx())
+        for _ in range(3):
+            r = base.read(0, 8, NORMAL, True, False)
+            assert r.kind is MissKind.UNCACHED
+            assert r.read_words == 2
+
+    def test_shared_write_buffered(self):
+        base = make_scheme("base", make_ctx())
+        r = base.write(0, 8, NORMAL, True, False)
+        assert r.kind is MissKind.UNCACHED
+        assert r.latency == 1
+        assert r.write_words == 2
+
+    def test_private_data_cached(self):
+        base = make_scheme("base", make_ctx())
+        assert base.read(0, 8, NORMAL, False, False).kind is MissKind.COLD
+        assert base.read(0, 8, NORMAL, False, False).kind is MissKind.HIT
+
+    def test_private_write_no_remote_traffic(self):
+        base = make_scheme("base", make_ctx())
+        base.read(0, 8, NORMAL, False, False)
+        r = base.write(0, 8, NORMAL, False, False)
+        assert r.write_words == 0
+
+
+class TestRegistry:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            make_scheme("mesi", make_ctx())

@@ -1,0 +1,340 @@
+"""Micro-tests of the TPI scheme driven access-by-access.
+
+The test rig builds a one-array address space and hand-crafted markings so
+each hardware rule can be exercised in isolation: strict vs timestamp
+Time-Reads, the W-register updates, the R-1 fill rule, the two-phase reset,
+and the write path.
+"""
+
+import pytest
+
+from repro.coherence.api import SimContext, make_scheme
+from repro.common.config import (
+    CacheConfig,
+    MachineConfig,
+    TimetagResetPolicy,
+    TpiConfig,
+    WriteBufferKind,
+)
+from repro.common.stats import MissKind
+from repro.compiler.epochs import EpochGraph
+from repro.compiler.marking import Marking, RefMark
+from repro.ir import ProgramBuilder
+from repro.memsys.memory import ShadowMemory
+from repro.memsys.network import KruskalSnirNetwork
+from repro.trace.layout import MemoryLayout
+
+TR_SITE = 0  # timestamp Time-Read
+STRICT_SITE = 1  # strict Time-Read (possible same-epoch writer)
+NORMAL_SITE = 2  # ordinary read
+
+WKEY = 999  # write_key of "an epoch that writes array M"
+WKEY_RACY = 998
+
+
+def make_ctx(n_procs=2, timetag_bits=4, words=256, line_words=4, lines=32,
+             wbuffer=WriteBufferKind.FIFO,
+             reset=TimetagResetPolicy.TWO_PHASE):
+    machine = MachineConfig(
+        n_procs=n_procs,
+        cache=CacheConfig(size_bytes=lines * line_words * 4,
+                          line_words=line_words),
+        tpi=TpiConfig(timetag_bits=timetag_bits, reset_policy=reset),
+        write_buffer=wbuffer,
+    )
+    b = ProgramBuilder("rig")
+    b.array("M", (words,))
+    with b.procedure("main"):
+        pass
+    layout = MemoryLayout(b.build(), machine.n_procs, line_words)
+    marking = Marking(
+        tpi={TR_SITE: RefMark.TIME_READ, STRICT_SITE: RefMark.TIME_READ,
+             NORMAL_SITE: RefMark.READ},
+        sc={TR_SITE: RefMark.TIME_READ, STRICT_SITE: RefMark.TIME_READ,
+            NORMAL_SITE: RefMark.READ},
+        graph=EpochGraph(),
+        strict_sites={STRICT_SITE},
+        epoch_writes={WKEY: {"M": False}, WKEY_RACY: {"M": True}},
+    )
+    return SimContext(machine=machine, marking=marking,
+                      shadow=ShadowMemory(layout.total_words),
+                      network=KruskalSnirNetwork(machine), layout=layout)
+
+
+def new_tpi(**kw):
+    ctx = make_ctx(**kw)
+    return make_scheme("tpi", ctx), ctx
+
+
+class TestTimestampTimeRead:
+    def test_first_read_misses_cold(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        r = tpi.read(0, 8, TR_SITE, True, False)
+        assert r.kind is MissKind.COLD
+        assert r.read_words == 1 + 4
+
+    def test_hits_within_epoch(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.read(0, 8, TR_SITE, True, False)
+        assert tpi.read(0, 8, TR_SITE, True, False).kind is MissKind.HIT
+
+    def test_hits_across_epochs_when_array_unwritten(self):
+        """Loop-invariant data: W[M] never advances, so copies keep hitting."""
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.read(0, 8, TR_SITE, True, False)
+        for e in range(1, 5):
+            tpi.begin_epoch(e, True)
+            tpi.end_epoch(None)
+        r = tpi.read(0, 8, TR_SITE, True, False)
+        assert r.kind is MissKind.HIT
+
+    def test_misses_after_writing_epoch(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.read(0, 8, TR_SITE, True, False)
+        tpi.end_epoch(None)
+        tpi.begin_epoch(1, True)
+        tpi.write(1, 8, NORMAL_SITE, True, False)  # another proc writes
+        tpi.end_epoch(WKEY)  # compiler: this epoch wrote M
+        tpi.begin_epoch(2, True)
+        r = tpi.read(0, 8, TR_SITE, True, False)
+        assert r.kind is MissKind.TRUE_SHARING
+
+    def test_writers_own_copy_survives_the_writing_epoch(self):
+        """Producer-consumer with the same processor: hits, like a directory."""
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.write(0, 8, NORMAL_SITE, True, False)
+        tpi.end_epoch(WKEY)
+        tpi.begin_epoch(1, True)
+        r = tpi.read(0, 8, TR_SITE, True, False)
+        assert r.kind is MissKind.HIT
+
+    def test_other_procs_copy_does_not_survive(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.read(1, 8, TR_SITE, True, False)  # proc 1 caches it
+        tpi.end_epoch(None)
+        tpi.begin_epoch(1, True)
+        tpi.write(0, 8, NORMAL_SITE, True, False)  # proc 0 rewrites
+        tpi.end_epoch(WKEY)
+        tpi.begin_epoch(2, True)
+        assert tpi.read(1, 8, TR_SITE, True, False).kind is MissKind.TRUE_SHARING
+
+    def test_racy_epoch_distrusts_even_writers(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.write(0, 8, NORMAL_SITE, True, False)
+        tpi.end_epoch(WKEY_RACY)
+        tpi.begin_epoch(1, True)
+        r = tpi.read(0, 8, TR_SITE, True, False)
+        assert r.kind is not MissKind.HIT
+
+    def test_copy_fetched_during_writing_epoch_distrusted_later(self):
+        """A fill during the writing epoch may have raced the writes; the
+        R-1 stamp keeps it outside the next epoch's window."""
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.read(0, 8, STRICT_SITE, True, False)  # strict fill: tag R-1
+        tpi.end_epoch(WKEY)  # epoch wrote M
+        tpi.begin_epoch(1, True)
+        r = tpi.read(0, 8, TR_SITE, True, False)
+        assert r.kind is not MissKind.HIT
+
+
+class TestStrictTimeRead:
+    def test_strict_hits_only_on_own_epoch_products(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.write(0, 8, NORMAL_SITE, True, False)
+        assert tpi.read(0, 8, STRICT_SITE, True, False).kind is MissKind.HIT
+
+    def test_strict_misses_on_prior_epoch_copy(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.read(0, 8, TR_SITE, True, False)
+        tpi.end_epoch(None)
+        tpi.begin_epoch(1, True)
+        r = tpi.read(0, 8, STRICT_SITE, True, False)
+        assert r.kind is MissKind.CONSERVATIVE  # data unchanged: conservatism
+
+    def test_strict_fill_does_not_validate_for_later_strict_reads(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.read(0, 8, STRICT_SITE, True, False)  # fill stamps R-1
+        r = tpi.read(0, 8, STRICT_SITE, True, False)
+        assert r.kind is not MissKind.HIT  # racy word: every strict read misses
+
+
+class TestLineFillRule:
+    def test_neighbour_words_get_previous_timetag(self):
+        """A strict Time-Read to another word of a line fetched this epoch
+        must miss (implicit same-epoch RAW/WAR)."""
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.read(0, 8, TR_SITE, True, False)  # fills words 8..11
+        assert tpi.read(0, 9, STRICT_SITE, True, False).kind is not MissKind.HIT
+
+    def test_neighbour_words_valid_for_normal_reads(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.read(0, 8, TR_SITE, True, False)
+        assert tpi.read(0, 9, NORMAL_SITE, True, False).kind is MissKind.HIT
+
+    def test_neighbour_words_hit_timestamp_reads_when_no_writer(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.read(0, 8, TR_SITE, True, False)
+        # W[M] is ancient, so tag R-1 is comfortably inside the window.
+        assert tpi.read(0, 9, TR_SITE, True, False).kind is MissKind.HIT
+
+    def test_refresh_preserves_validated_neighbours(self):
+        """Sweeping strict Time-Reads must not thrash each other."""
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.write(0, 8, NORMAL_SITE, True, False)  # tag R on word 8
+        tpi.read(0, 9, STRICT_SITE, True, False)  # miss -> refresh, not fill
+        assert tpi.read(0, 8, STRICT_SITE, True, False).kind is MissKind.HIT
+
+
+class TestTwoPhaseResetBehaviour:
+    def test_reset_fires_at_phase_boundary(self):
+        tpi, ctx = new_tpi(timetag_bits=2)  # phases of size 2
+        stalls = tpi.begin_epoch(0, True)  # counter 0 -> 1, same phase
+        assert stalls == {}
+        stalls = tpi.begin_epoch(1, True)  # counter 1 -> 2: new phase
+        assert stalls == {p: ctx.machine.tpi.reset_stall_cycles
+                          for p in range(ctx.machine.n_procs)}
+        assert tpi.resets == 1
+
+    def test_reset_kills_old_but_fresh_words(self):
+        """The cost of small timetags: loop-invariant data dies by sweep."""
+        tpi, _ = new_tpi(timetag_bits=2)
+        tpi.begin_epoch(0, True)  # counter 1
+        tpi.read(0, 8, TR_SITE, True, False)  # tag 1
+        for e in range(1, 4):
+            tpi.begin_epoch(e, True)  # counter 2, 3, 0 (two sweeps)
+        r = tpi.read(0, 8, TR_SITE, True, False)
+        assert r.kind is MissKind.RESET
+
+    def test_large_timetag_preserves_fresh_words(self):
+        tpi, _ = new_tpi(timetag_bits=8)
+        tpi.begin_epoch(0, True)
+        tpi.read(0, 8, TR_SITE, True, False)
+        for e in range(1, 4):
+            tpi.begin_epoch(e, True)
+        assert tpi.read(0, 8, TR_SITE, True, False).kind is MissKind.HIT
+
+    def test_no_aliasing_after_wraparound(self):
+        """A word validated ~2^k epochs ago must not satisfy a Time-Read
+        via modular aliasing; the sweep guarantees it died first."""
+        tpi, _ = new_tpi(timetag_bits=2)
+        tpi.begin_epoch(0, True)  # counter 1
+        tpi.read(0, 8, TR_SITE, True, False)  # tag 1
+        for e in range(1, 4):
+            tpi.begin_epoch(e, True)
+        tpi.begin_epoch(4, True)  # counter = 1 again (mod 4)
+        r = tpi.read(0, 8, TR_SITE, True, False)
+        assert r.kind is not MissKind.HIT
+
+    def test_flush_policy_invalidates_everything(self):
+        tpi, _ = new_tpi(timetag_bits=2, reset=TimetagResetPolicy.FLUSH)
+        tpi.begin_epoch(0, True)
+        tpi.read(0, 8, NORMAL_SITE, True, False)
+        for e in range(1, 4):
+            tpi.begin_epoch(e, True)  # counter wraps to 0 at epoch 4 % 4
+        assert tpi.resets == 1
+        assert tpi.read(0, 8, NORMAL_SITE, True, False).kind is not MissKind.HIT
+
+
+class TestWritePath:
+    def test_write_allocate_fetches_line(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        r = tpi.write(0, 8, NORMAL_SITE, True, False)
+        assert r.read_words == 5  # allocation fill
+        assert r.write_words == 2  # FIFO write-through message
+        assert r.latency == 1  # buffered, non-blocking
+
+    def test_write_hit_no_fill(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.write(0, 8, NORMAL_SITE, True, False)
+        assert tpi.write(0, 8, NORMAL_SITE, True, False).read_words == 0
+
+    def test_coalescing_buffer_defers_traffic(self):
+        tpi, _ = new_tpi(wbuffer=WriteBufferKind.COALESCING)
+        tpi.begin_epoch(0, True)
+        for _ in range(5):
+            assert tpi.write(0, 8, NORMAL_SITE, True, False).write_words == 0
+        drained = tpi.end_epoch(WKEY)
+        assert drained[0] == 2  # one word survives the merge
+        assert drained[1] == 0
+
+    def test_critical_read_forced_miss(self):
+        tpi, _ = new_tpi()
+        tpi.begin_epoch(0, True)
+        tpi.write(0, 8, NORMAL_SITE, True, False)
+        r = tpi.read(0, 8, TR_SITE, True, in_critical=True)
+        assert r.kind is not MissKind.HIT
+
+    def test_release_fence_drains(self):
+        tpi, _ = new_tpi(wbuffer=WriteBufferKind.COALESCING)
+        tpi.begin_epoch(0, True)
+        tpi.write(0, 8, NORMAL_SITE, True, False)
+        r = tpi.release_fence(0)
+        assert r.write_words == 2
+        assert tpi.end_epoch(WKEY)[0] == 0  # already drained
+
+
+class TestPerLineTags:
+    def test_strict_never_hits(self):
+        tpi, _ = new_tpi_line()
+        tpi.begin_epoch(0, True)
+        tpi.write(0, 8, NORMAL_SITE, True, False)
+        r = tpi.read(0, 8, STRICT_SITE, True, False)
+        assert r.kind is not MissKind.HIT
+
+    def test_timestamp_hits_on_filled_lines(self):
+        tpi, _ = new_tpi_line()
+        tpi.begin_epoch(0, True)
+        tpi.read(0, 8, TR_SITE, True, False)  # fill: line tag R-1
+        tpi.end_epoch(None)
+        tpi.begin_epoch(1, True)
+        # Array unwritten: huge window -> the filled line still hits.
+        assert tpi.read(0, 9, TR_SITE, True, False).kind is MissKind.HIT
+
+    def test_producer_consumer_reuse_lost(self):
+        """The defining cost: a write cannot raise the line tag, so the
+        writer's own product misses next epoch (per-word tags hit)."""
+        tpi, _ = new_tpi_line()
+        tpi.begin_epoch(0, True)
+        tpi.write(0, 8, NORMAL_SITE, True, False)
+        tpi.end_epoch(WKEY)
+        tpi.begin_epoch(1, True)
+        r = tpi.read(0, 8, TR_SITE, True, False)
+        assert r.kind is not MissKind.HIT
+
+    def test_still_coherent_end_to_end(self):
+        from repro.common.config import TpiConfig, default_machine
+        from repro.sim import prepare, simulate
+        from repro.workloads import build_workload
+
+        machine = default_machine().with_(
+            n_procs=4, tpi=TpiConfig(tag_per_word=False))
+        run = prepare(build_workload("ocean", size="small"), machine)
+        simulate(run, "tpi")  # oracle-checked
+
+
+def new_tpi_line(**kw):
+    ctx = make_ctx(**kw)
+    machine = ctx.machine.with_(tpi=TpiConfig(
+        timetag_bits=ctx.machine.tpi.timetag_bits,
+        reset_policy=ctx.machine.tpi.reset_policy,
+        tag_per_word=False))
+    ctx.machine = machine
+    ctx.network = KruskalSnirNetwork(machine)
+    return make_scheme("tpi", ctx), ctx

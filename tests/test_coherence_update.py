@@ -1,0 +1,137 @@
+"""Micro-tests for the write-update directory scheme (extension)."""
+
+import pytest
+
+from repro.coherence.api import SimContext, make_scheme
+from repro.common.config import (
+    CacheConfig,
+    ConsistencyModel,
+    MachineConfig,
+    WriteBufferKind,
+)
+from repro.common.stats import MissKind
+from repro.compiler.epochs import EpochGraph
+from repro.compiler.marking import Marking
+from repro.ir import ProgramBuilder
+from repro.memsys.memory import ShadowMemory
+from repro.memsys.network import KruskalSnirNetwork
+from repro.trace.layout import MemoryLayout
+
+
+def make_ctx(n_procs=3, words=256, line_words=4, lines=32,
+             wbuffer=WriteBufferKind.FIFO,
+             consistency=ConsistencyModel.WEAK):
+    machine = MachineConfig(
+        n_procs=n_procs,
+        cache=CacheConfig(size_bytes=lines * line_words * 4,
+                          line_words=line_words),
+        write_buffer=wbuffer, consistency=consistency)
+    b = ProgramBuilder("rig")
+    b.array("M", (words,))
+    with b.procedure("main"):
+        pass
+    layout = MemoryLayout(b.build(), n_procs, line_words)
+    return SimContext(machine=machine,
+                      marking=Marking(tpi={}, sc={}, graph=EpochGraph()),
+                      shadow=ShadowMemory(layout.total_words),
+                      network=KruskalSnirNetwork(machine), layout=layout)
+
+
+def new_update(**kw):
+    ctx = make_ctx(**kw)
+    return make_scheme("update", ctx), ctx
+
+
+class TestUpdateSemantics:
+    def test_no_invalidations_ever(self):
+        up, _ = new_update()
+        up.read(0, 8, 0, True, False)
+        up.read(1, 8, 0, True, False)
+        up.write(2, 8, 0, True, False)
+        # Both readers still hit, at the *new* version.
+        r0 = up.read(0, 8, 0, True, False)
+        r1 = up.read(1, 8, 0, True, False)
+        assert r0.kind is MissKind.HIT and r1.kind is MissKind.HIT
+        assert r0.version == r1.version == 1
+
+    def test_write_broadcasts_to_sharers_only(self):
+        up, _ = new_update()
+        up.read(0, 8, 0, True, False)
+        up.read(1, 8, 0, True, False)
+        r = up.write(0, 8, 0, True, False)
+        assert up.updates_sent == 1  # proc 1 only
+        assert r.write_words >= 2 + 2  # memory + one sharer
+
+    def test_no_sharing_misses(self):
+        up, _ = new_update()
+        up.read(0, 8, 0, True, False)
+        for _ in range(5):
+            up.write(1, 8, 0, True, False)
+        assert up.read(0, 8, 0, True, False).kind is MissKind.HIT
+
+    def test_eviction_leaves_sharers(self):
+        up, _ = new_update(lines=4, words=4096)
+        up.read(0, 0, 0, True, False)
+        up.read(0, 16, 0, True, False)  # evicts line 0 (4 sets, dm)
+        assert 0 not in up.sharers.get(0, set())
+        # A write by another proc must not try to update the evicted copy.
+        up.write(1, 0, 0, True, False)
+
+    def test_coalescing_defers_and_merges(self):
+        up, _ = new_update(wbuffer=WriteBufferKind.COALESCING)
+        up.read(1, 8, 0, True, False)  # proc 1 shares the line
+        for _ in range(4):
+            r = up.write(0, 8, 0, True, False)
+            assert r.write_words == 0  # deferred
+        drained = up.end_epoch(None)
+        assert drained[0] > 0
+        assert up.merged_writes == 3
+        assert up.updates_sent == 1  # one broadcast after merging
+
+    def test_coalesced_update_applied_by_barrier(self):
+        up, ctx = new_update(wbuffer=WriteBufferKind.COALESCING)
+        up.read(1, 8, 0, True, False)
+        up.write(0, 8, 0, True, False)
+        up.end_epoch(None)
+        ctx.shadow.barrier()
+        r = up.read(1, 8, 0, True, False)
+        assert r.kind is MissKind.HIT and r.version == 1
+
+    def test_sequential_consistency_stalls_writes(self):
+        weak, _ = new_update()
+        seq, _ = new_update(consistency=ConsistencyModel.SEQUENTIAL)
+        weak.read(1, 8, 0, True, False)
+        seq.read(1, 8, 0, True, False)
+        assert weak.write(0, 8, 0, True, False).latency == 1
+        assert seq.write(0, 8, 0, True, False).latency > 50
+
+
+class TestUpdateEndToEnd:
+    def test_workload_runs_coherently(self):
+        from repro.common.config import default_machine
+        from repro.sim import prepare, simulate
+        from repro.workloads import build_workload
+
+        machine = default_machine().with_(n_procs=4)
+        run = prepare(build_workload("ocean", size="small"), machine)
+        r = simulate(run, "update")
+        # No invalidations -> no sharing misses of either kind.
+        assert r.kind_count(MissKind.TRUE_SHARING) == 0
+        assert r.kind_count(MissKind.FALSE_SHARING) == 0
+        # ...but plenty of update/write traffic.
+        from repro.common.stats import TrafficClass
+        assert r.traffic[TrafficClass.WRITE] > 0
+
+    def test_coalescing_cuts_update_traffic_on_trfd(self):
+        from repro.common.config import default_machine
+        from repro.common.stats import TrafficClass
+        from repro.sim import prepare, simulate
+        from repro.workloads import build_workload
+
+        base = default_machine().with_(n_procs=4)
+        program = build_workload("trfd", size="small")
+        fifo = simulate(prepare(program, base), "update")
+        coal = simulate(prepare(program, base.with_(
+            write_buffer=WriteBufferKind.COALESCING)), "update")
+        assert (coal.traffic[TrafficClass.WRITE]
+                < 0.75 * fifo.traffic[TrafficClass.WRITE])

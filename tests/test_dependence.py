@@ -1,0 +1,73 @@
+"""Tests for the DOALL dependence relation tests."""
+
+from repro.compiler.dependence import Relation, doall_relation
+from repro.compiler.ranges import RangeEnv
+from repro.ir.expr import Affine, sym
+
+
+def env(**kv):
+    return RangeEnv({k: v for k, v in kv.items()})
+
+
+class TestDoallRelation:
+    def test_identical_subscripts_same_iter_only(self):
+        rel = doall_relation((sym("i"),), (sym("i"),), "i", set(), env(i=(0, 7)))
+        assert rel is Relation.SAME_ITER_ONLY
+
+    def test_constant_offset_may_conflict(self):
+        rel = doall_relation((sym("i"),), (sym("i") - 1,), "i", set(), env(i=(0, 7)))
+        assert rel is Relation.MAY_CONFLICT
+
+    def test_constant_subscripts_disjoint(self):
+        rel = doall_relation((Affine.of(3),), (Affine.of(5),), "i", set(), env(i=(0, 7)))
+        assert rel is Relation.DISJOINT
+
+    def test_same_constant_subscript_conflicts(self):
+        rel = doall_relation((Affine.of(3),), (Affine.of(3),), "i", set(), env(i=(0, 7)))
+        assert rel is Relation.MAY_CONFLICT
+
+    def test_banerjee_disjoint_ranges(self):
+        # write A[i], read A[i+16], i in 0..7: ranges 0..7 vs 16..23.
+        rel = doall_relation((sym("i"),), (sym("i") + 16,), "i", set(), env(i=(0, 7)))
+        assert rel is Relation.DISJOINT
+
+    def test_gcd_disjoint(self):
+        # write A[2i], read A[2i+1]: parity never matches.
+        rel = doall_relation((sym("i") * 2,), (sym("i") * 2 + 1,), "i", set(),
+                             env(i=(0, 31)))
+        assert rel is Relation.DISJOINT
+
+    def test_multidim_one_forcing_dim_wins(self):
+        # A[i, j] written, A[i, j2] read with j inner (renamed apart): the
+        # first dimension forces same iteration.
+        rel = doall_relation((sym("i"), sym("j")), (sym("i"), sym("j")),
+                             "i", {"j"}, env(i=(0, 7), j=(0, 7)))
+        assert rel is Relation.SAME_ITER_ONLY
+
+    def test_multidim_disjoint_dim_wins(self):
+        rel = doall_relation((sym("i"), Affine.of(0)), (sym("i") - 1, Affine.of(9)),
+                             "i", set(), env(i=(0, 7)))
+        assert rel is Relation.DISJOINT
+
+    def test_inner_index_renamed_apart(self):
+        # write A[j] and read A[j] with j an inner serial index: different
+        # tasks have independent j instances, so they may conflict.
+        rel = doall_relation((sym("j"),), (sym("j"),), "i", {"j"},
+                             env(i=(0, 7), j=(0, 7)))
+        assert rel is Relation.MAY_CONFLICT
+
+    def test_shared_outer_index_not_renamed(self):
+        # A[t] vs A[t] where t is an outer serial loop index shared by all
+        # tasks: same element for everyone -> conflict.
+        rel = doall_relation((sym("t"),), (sym("t"),), "i", set(), env(i=(0, 7), t=(0, 3)))
+        assert rel is Relation.MAY_CONFLICT
+
+    def test_different_coefficients_conflict(self):
+        rel = doall_relation((sym("i") * 2,), (sym("i") * 3,), "i", set(),
+                             env(i=(0, 31)))
+        assert rel is Relation.MAY_CONFLICT
+
+    def test_unbounded_range_conservative(self):
+        rel = doall_relation((sym("s"),), (sym("i"),), "i", {"s"},
+                             env(i=(0, 7)))  # s unbounded
+        assert rel is Relation.MAY_CONFLICT

@@ -1,0 +1,76 @@
+"""Property tests: the dependence relation vs brute-force enumeration.
+
+For random affine subscript pairs over small index ranges, enumerate every
+(iteration, iteration) pair and compare ground truth against
+``doall_relation``'s verdict: DISJOINT must mean no conflict exists at all,
+and SAME_ITER_ONLY must mean no *cross-iteration* conflict exists.
+MAY_CONFLICT is always allowed (the test is conservative by design).
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.dependence import Relation, doall_relation
+from repro.compiler.ranges import RangeEnv
+from repro.ir.expr import Affine, sym
+
+I_RANGE = (0, 5)
+J_RANGE = (0, 3)
+
+
+@st.composite
+def affine_subscripts(draw):
+    """c_i * i + c_j * j + c, with j an (epoch-private) inner index."""
+    return (sym("i") * draw(st.integers(-2, 2))
+            + sym("j") * draw(st.integers(-1, 1))
+            + draw(st.integers(-3, 8)))
+
+
+def enumerate_conflicts(w_subs, r_subs):
+    """Ground truth: (same-iteration hits, cross-iteration hits)."""
+    same = cross = 0
+    i_vals = range(I_RANGE[0], I_RANGE[1] + 1)
+    j_vals = range(J_RANGE[0], J_RANGE[1] + 1)
+    for i1, j1, i2, j2 in itertools.product(i_vals, j_vals, i_vals, j_vals):
+        w = tuple(s.evaluate({"i": i1, "j": j1}) for s in w_subs)
+        r = tuple(s.evaluate({"i": i2, "j": j2}) for s in r_subs)
+        if w == r:
+            if i1 == i2:
+                same += 1
+            else:
+                cross += 1
+    return same, cross
+
+
+ENV = RangeEnv({"i": I_RANGE, "j": J_RANGE})
+
+
+class TestRelationSoundness:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(affine_subscripts(), min_size=1, max_size=2),
+           st.lists(affine_subscripts(), min_size=1, max_size=2))
+    def test_verdicts_never_unsound(self, w_subs, r_subs):
+        dims = min(len(w_subs), len(r_subs))
+        w = tuple(w_subs[:dims])
+        r = tuple(r_subs[:dims])
+        rel = doall_relation(w, r, "i", {"j"}, ENV)
+        same, cross = enumerate_conflicts(w, r)
+        if rel is Relation.DISJOINT:
+            assert same == 0 and cross == 0, (
+                f"DISJOINT but conflicts exist: {w} vs {r}")
+        elif rel is Relation.SAME_ITER_ONLY:
+            assert cross == 0, (
+                f"SAME_ITER_ONLY but cross-iteration conflict: {w} vs {r}")
+        # MAY_CONFLICT: conservatively fine either way.
+
+    @settings(max_examples=100, deadline=None)
+    @given(affine_subscripts())
+    def test_identical_subscripts_never_disjoint_with_themselves(self, sub):
+        rel = doall_relation((sub,), (sub,), "i", {"j"}, ENV)
+        same, cross = enumerate_conflicts((sub,), (sub,))
+        assert same > 0  # w(i,j) == r(i,j) trivially
+        if rel is Relation.SAME_ITER_ONLY:
+            assert cross == 0
+        assert rel is not Relation.DISJOINT

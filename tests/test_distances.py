@@ -1,0 +1,108 @@
+"""Direct tests of EpochGraph.distance (the Time-Read window metric)."""
+
+import pytest
+
+from repro.compiler.epochs import build_epoch_graph
+from repro.ir import ProgramBuilder
+
+
+def seq_of_doalls(n, loop_trips=None):
+    """n DOALLs in a row, optionally wrapped in a serial loop."""
+    b = ProgramBuilder("seq", params={"T": loop_trips or 1})
+    b.array("A", (8,))
+    with b.procedure("main"):
+        def emit():
+            for k in range(n):
+                with b.doall(f"i{k}", 0, 7) as i:
+                    b.stmt(writes=[b.at("A", i)])
+        if loop_trips:
+            with b.serial("t", 0, b.p("T") - 1):
+                emit()
+        else:
+            emit()
+    return build_epoch_graph(b.build())
+
+
+class TestLinearChains:
+    def test_adjacent_distance_one(self):
+        g = seq_of_doalls(3)
+        a, b_, c = (e.id for e in g.parallel_epochs)
+        assert g.distance(a, b_) == 1
+        assert g.distance(b_, c) == 1
+        assert g.distance(a, c) == 2
+
+    def test_unreachable_is_none(self):
+        g = seq_of_doalls(2)
+        a, b_ = (e.id for e in g.parallel_epochs)
+        assert g.distance(b_, a) is None
+        assert g.distance(a, a) is None  # not on a cycle
+
+
+class TestLoops:
+    def test_back_edge_distance_contracts_header(self):
+        g = seq_of_doalls(2, loop_trips=3)
+        a, b_ = (e.id for e in g.parallel_epochs)
+        assert g.distance(a, b_) == 1
+        # b -> header (cost 0) -> a (cost 1): the next iteration.
+        assert g.distance(b_, a) == 1
+        # Self-distance around the loop: two boundary crossings.
+        assert g.distance(a, a) == 2
+        assert g.distance(b_, b_) == 2
+
+    def test_single_doall_loop_self_distance_one(self):
+        g = seq_of_doalls(1, loop_trips=4)
+        (a,) = (e.id for e in g.parallel_epochs)
+        assert g.distance(a, a) == 1
+
+    def test_branch_skip_gives_min_path(self):
+        """With an If around the middle DOALL, the outer epochs are at
+        distance 1 via the skip edge even though the through-path is 2."""
+        b = ProgramBuilder("skip", params={"GO": 1})
+        b.array("A", (8,))
+        with b.procedure("main"):
+            b.stmt(writes=[b.at("A", 0)])
+            with b.when(b.p("GO"), "==", 1):
+                with b.doall("i", 0, 7) as i:
+                    b.stmt(writes=[b.at("A", i)])
+            b.stmt(reads=[b.at("A", 0)])
+        g = build_epoch_graph(b.build())
+        pre, doall, post = g.epochs
+        assert g.distance(pre.id, post.id) == 1
+        assert g.distance(pre.id, doall.id) == 1
+        assert g.distance(doall.id, post.id) == 1
+
+
+class TestWindowsFollowDistances:
+    def test_far_writer_gives_timestamp_not_strict(self):
+        """A reader two epochs after the only writer is a timestamp
+        Time-Read (cross-epoch), never strict."""
+        from repro.compiler import mark_program, RefMark
+
+        b = ProgramBuilder("far", params={})
+        b.array("A", (8,))
+        b.array("B", (8,))
+        b.array("C", (8,))
+        with b.procedure("main"):
+            with b.doall("w", 0, 7) as w:
+                b.stmt(writes=[b.at("A", w)])
+            with b.doall("m", 0, 7) as m:
+                b.stmt(writes=[b.at("B", m)])
+            with b.doall("r", 0, 7) as r:
+                ref = b.at("A", 7 - r)
+                b.stmt(reads=[ref], writes=[b.at("C", r)])
+        marking = mark_program(b.build())
+        assert marking.tpi_mark(ref.site) is RefMark.TIME_READ
+        assert not marking.is_strict(ref.site)
+
+    def test_same_epoch_writer_gives_strict(self):
+        from repro.compiler import mark_program, RefMark
+
+        b = ProgramBuilder("near", params={})
+        b.array("A", (16,))
+        with b.procedure("main"):
+            with b.doall("i", 1, 7) as i:
+                ref = b.at("A", i - 1)
+                b.stmt(reads=[ref], writes=[b.at("A", i)])
+        marking = mark_program(b.build())
+        assert marking.tpi_mark(ref.site) is RefMark.TIME_READ
+        assert marking.is_strict(ref.site)

@@ -1,0 +1,43 @@
+"""Tests for per-epoch profiling (MachineConfig.record_epochs)."""
+
+from repro.common.config import default_machine
+from repro.sim import prepare, simulate
+from repro.workloads import build_workload
+
+
+def run_with_records(scheme="tpi"):
+    machine = default_machine().with_(n_procs=4, record_epochs=True)
+    run = prepare(build_workload("ocean", size="small"), machine)
+    return simulate(run, scheme), run
+
+
+class TestEpochRecords:
+    def test_disabled_by_default(self):
+        machine = default_machine().with_(n_procs=4)
+        run = prepare(build_workload("ocean", size="small"), machine)
+        assert simulate(run, "tpi").epoch_records == []
+
+    def test_one_record_per_epoch(self):
+        result, run = run_with_records()
+        assert len(result.epoch_records) == run.trace.n_epochs
+        assert [r.index for r in result.epoch_records] == list(
+            range(run.trace.n_epochs))
+
+    def test_records_partition_totals(self):
+        result, _ = run_with_records()
+        assert sum(r.reads for r in result.epoch_records) == result.reads
+        assert (sum(r.read_misses for r in result.epoch_records)
+                == result.read_misses)
+        assert sum(r.cycles for r in result.epoch_records) == result.exec_cycles
+
+    def test_per_epoch_miss_rate(self):
+        result, _ = run_with_records()
+        for record in result.epoch_records:
+            assert 0.0 <= record.miss_rate <= 1.0
+            if record.reads == 0:
+                assert record.miss_rate == 0.0
+
+    def test_labels_match_phases(self):
+        result, _ = run_with_records()
+        labels = {r.label for r in result.epoch_records if r.parallel}
+        assert "vort" in labels and "leap" in labels

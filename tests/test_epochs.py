@@ -1,0 +1,174 @@
+"""Tests for epoch partitioning and the epoch flow graph."""
+
+import pytest
+
+from repro.compiler.epochs import build_epoch_graph, node_contains_doall, proc_contains_doall
+from repro.ir import ProgramBuilder
+
+
+def doall_between_serials():
+    b = ProgramBuilder("p", params={"N": 8})
+    b.array("A", (8,))
+    with b.procedure("main"):
+        b.stmt(writes=[b.at("A", 0)])  # serial epoch 0
+        with b.doall("i", 0, 7) as i:  # parallel epoch 1
+            b.stmt(writes=[b.at("A", i)])
+        b.stmt(reads=[b.at("A", 3)])  # serial epoch 2
+    return b.build()
+
+
+class TestPartitioning:
+    def test_serial_doall_serial(self):
+        g = build_epoch_graph(doall_between_serials())
+        kinds = [e.parallel for e in g.epochs]
+        assert kinds == [False, True, False]
+        assert g.succ[0] == {1}
+        assert g.succ[1] == {2}
+        assert g.succ[2] == set()
+        assert g.entry == 0
+
+    def test_consecutive_serial_nodes_merge(self):
+        b = ProgramBuilder("p")
+        b.array("A", (4,))
+        with b.procedure("main"):
+            b.stmt(writes=[b.at("A", 0)])
+            b.assign("s", 2)
+            b.stmt(writes=[b.at("A", 1)])
+        g = build_epoch_graph(b.build())
+        assert len(g.epochs) == 1
+        assert len(g.epochs[0].nodes) == 3
+
+    def test_serial_loop_without_doall_stays_in_epoch(self):
+        b = ProgramBuilder("p", params={"N": 4})
+        b.array("A", (4,))
+        with b.procedure("main"):
+            with b.serial("i", 0, 3) as i:
+                b.stmt(writes=[b.at("A", i)])
+            b.stmt(reads=[b.at("A", 0)])
+        g = build_epoch_graph(b.build())
+        assert len(g.epochs) == 1 and not g.epochs[0].parallel
+
+    def test_opened_loop_creates_header_and_backedge(self):
+        b = ProgramBuilder("p", params={"T": 3})
+        b.array("A", (8,))
+        with b.procedure("main"):
+            with b.serial("t", 0, b.p("T") - 1):
+                with b.doall("i", 0, 7) as i:
+                    b.stmt(writes=[b.at("A", i)])
+        g = build_epoch_graph(b.build())
+        # header (empty serial) + doall epoch
+        assert len(g.epochs) == 2
+        head, doall = g.epochs
+        assert not head.parallel and head.nodes == ()
+        assert doall.parallel
+        assert g.succ[head.id] == {doall.id}
+        assert g.succ[doall.id] == {head.id}  # back edge
+        # The doall can precede itself via the cycle.
+        assert g.reach(doall.id, doall.id)
+        assert g.reach(head.id, head.id)
+
+    def test_outer_loop_context_recorded(self):
+        b = ProgramBuilder("p", params={"T": 3})
+        b.array("A", (8,))
+        with b.procedure("main"):
+            with b.serial("t", 0, b.p("T") - 1):
+                with b.doall("i", 0, 7) as i:
+                    b.stmt(writes=[b.at("A", i)])
+        g = build_epoch_graph(b.build())
+        doall = g.parallel_epochs[0]
+        assert [ctx.index for ctx in doall.outer] == ["t"]
+        assert doall.ranges.lookup("t") == (0, 2)
+
+    def test_call_with_doall_inlined(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        with b.procedure("kernel"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+        with b.procedure("main"):
+            b.stmt(reads=[b.at("A", 0)])
+            b.call("kernel")
+            b.call("kernel")
+        g = build_epoch_graph(b.build())
+        assert len(g.parallel_epochs) == 2  # one per call site
+        assert g.reach(g.parallel_epochs[0].id, g.parallel_epochs[1].id)
+        assert not g.reach(g.parallel_epochs[1].id, g.parallel_epochs[0].id)
+
+    def test_serial_call_stays_in_epoch(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        with b.procedure("helper"):
+            b.stmt(writes=[b.at("A", 1)])
+        with b.procedure("main"):
+            b.stmt(writes=[b.at("A", 0)])
+            b.call("helper")
+        g = build_epoch_graph(b.build())
+        assert len(g.epochs) == 1
+
+    def test_if_with_doall_forks_graph(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        b.array("A", (8,))
+        with b.procedure("main"):
+            b.stmt(writes=[b.at("A", 0)])
+            with b.when(b.p("N"), ">", 4):
+                with b.doall("i", 0, 7) as i:
+                    b.stmt(writes=[b.at("A", i)])
+            b.stmt(reads=[b.at("A", 2)])
+        g = build_epoch_graph(b.build())
+        pre, doall, post = g.epochs
+        # The else path is empty, so pre connects both into the doall and
+        # directly around it.
+        assert g.succ[pre.id] == {doall.id, post.id}
+        assert g.succ[doall.id] == {post.id}
+        assert g.reach(pre.id, post.id)
+        assert not g.reach(post.id, doall.id)
+
+    def test_empty_program_gets_one_epoch(self):
+        b = ProgramBuilder("p")
+        with b.procedure("main"):
+            pass
+        g = build_epoch_graph(b.build())
+        assert len(g.epochs) == 1
+
+    def test_scalar_snapshot_at_epoch_entry(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        b.array("A", (32,))
+        with b.procedure("main"):
+            off = b.assign("off", b.p("N") * 2)
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i + off)])
+        g = build_epoch_graph(b.build())
+        doall = g.parallel_epochs[0]
+        # Parameters stay symbolic; the range environment carries the value.
+        resolved = doall.scalars.resolve(b.v("off"))
+        assert resolved.symbols == {"N"}
+        assert doall.ranges.range_of(resolved) == (16, 16)
+
+
+class TestContainsDoall:
+    def test_proc_contains(self):
+        b = ProgramBuilder("p")
+        b.array("A", (4,))
+        with b.procedure("leaf"):
+            b.stmt(writes=[b.at("A", 0)])
+        with b.procedure("mid"):
+            with b.doall("i", 0, 3) as i:
+                b.stmt(writes=[b.at("A", i)])
+        with b.procedure("main"):
+            b.call("leaf")
+            b.call("mid")
+        p = b.build()
+        assert not proc_contains_doall(p, "leaf")
+        assert proc_contains_doall(p, "mid")
+        assert proc_contains_doall(p, "main")
+
+    def test_node_contains(self):
+        b = ProgramBuilder("p", params={"T": 2})
+        b.array("A", (4,))
+        with b.procedure("main"):
+            with b.serial("t", 0, 1):
+                with b.doall("i", 0, 3) as i:
+                    b.stmt(writes=[b.at("A", i)])
+        p = b.build()
+        outer = p.procedures["main"].body[0]
+        assert node_contains_doall(p, outer)

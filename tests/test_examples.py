@@ -1,0 +1,47 @@
+"""Smoke tests for the runnable examples (they must stay executable)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(path, argv):
+    saved = sys.argv
+    sys.argv = [path, *argv]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = saved
+
+
+class TestExamples:
+    def test_compiler_walkthrough(self, capsys):
+        run_example("examples/compiler_walkthrough.py", [])
+        out = capsys.readouterr().out
+        assert "epoch flow graph" in out
+        assert "time_read" in out
+
+    def test_reproduce_paper_single_small(self, capsys):
+        run_example("examples/reproduce_paper.py",
+                    ["--small", "fig5_storage"])
+        out = capsys.readouterr().out
+        assert "fig5_storage" in out and "two-phase invalidation" in out
+
+    @pytest.mark.slow
+    def test_quickstart(self, capsys):
+        run_example("examples/quickstart.py", [])
+        out = capsys.readouterr().out
+        assert "speedup over BASE" in out
+
+    @pytest.mark.slow
+    def test_custom_scheme(self, capsys):
+        run_example("examples/custom_scheme.py", ["trfd"])
+        out = capsys.readouterr().out
+        assert "flush" in out and "tpi" in out
+
+    @pytest.mark.slow
+    def test_sensitivity_study(self, capsys):
+        run_example("examples/sensitivity_study.py", ["trfd"])
+        out = capsys.readouterr().out
+        assert "timetag width" in out

@@ -1,0 +1,101 @@
+"""Tests for the experiment harness (structure + fast experiments).
+
+The heavyweight shape assertions live in benchmarks/; here we verify the
+harness machinery itself and the cheap analytic experiments.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.common import Bench, ExperimentResult
+
+
+class TestHarness:
+    def test_registry_covers_design_doc(self):
+        expected = {
+            "fig5_storage", "fig8_params", "tab_marking", "fig11_miss_rates",
+            "fig12_classification", "fig13_traffic", "tab_latency",
+            "fig14_exectime", "fig15_timetag", "fig16_linesize",
+            "fig17_wbuffer", "fig18_migration", "fig19_consistency",
+            "fig20_update", "fig21_cache", "fig22_breakdown",
+            "fig23_scaling", "fig24_timeline", "fig25_taggranularity",
+        }
+        assert set(experiment_ids()) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99_nothing")
+
+    def test_result_accessors(self):
+        result = ExperimentResult("x", "t", headers=["a", "b"],
+                                  rows=[["k1", 1], ["k2", 2]])
+        assert result.column("b") == [1, 2]
+        assert result.cell("k2", "b") == 2
+        with pytest.raises(KeyError):
+            result.cell("k3", "b")
+        rendered = result.render()
+        assert "k1" in rendered and "== x" in rendered
+
+    def test_bench_caches_prepared_runs(self):
+        bench = Bench(size="small", workloads=["ocean"])
+        first = bench.prepared("ocean")
+        assert bench.prepared("ocean") is first
+        r1 = bench.result("ocean", "tpi")
+        assert bench.result("ocean", "tpi") is r1
+
+
+class TestFastExperiments:
+    def test_fig5(self):
+        result = run_experiment("fig5_storage")
+        assert len(result.rows) == 3
+        assert result.cell("two-phase invalidation", "memory DRAM (GB)") == 0.0
+
+    def test_fig8(self):
+        result = run_experiment("fig8_params")
+        assert dict(result.rows)["number of processors"] == "16"
+
+    def test_tab_marking_small(self):
+        result = run_experiment("tab_marking", size="small")
+        assert len(result.rows) == 6
+        for row in result.rows:
+            assert 0 < row[2] <= 100.0  # inline fraction sane
+
+    def test_fig11_small_shapes(self):
+        result = run_experiment("fig11_miss_rates", size="small")
+        for row in result.rows:
+            name, base, sc, tpi, hw = row
+            assert base >= sc >= tpi >= 0
+            assert hw >= 0
+
+
+class TestBarCharts:
+    def test_render_bars(self):
+        result = ExperimentResult("x", "t", headers=["name", "v"],
+                                  rows=[["a", 10.0], ["bb", 5.0], ["c", 0.0]])
+        chart = result.render_bars("v", width=10)
+        lines = chart.splitlines()
+        assert lines[0] == "== x: v"
+        assert lines[1].endswith("10.000") and "##########" in lines[1]
+        assert lines[2].count("#") == 5
+        assert lines[3].count("#") == 0
+
+    def test_render_bars_skips_float_label_cells(self):
+        result = ExperimentResult("x", "t", headers=["name", "mid", "v"],
+                                  rows=[["a", 1.5, 4.0]])
+        chart = result.render_bars("v")
+        assert chart.splitlines()[1].startswith("a |")
+
+    def test_render_bars_rejects_text_column(self):
+        result = ExperimentResult("x", "t", headers=["name", "v"],
+                                  rows=[["a", "oops"]])
+        with pytest.raises(ValueError):
+            result.render_bars("v")
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "fig5_storage", "--chart",
+                     "cache SRAM (MB)"]) == 0
+        out = capsys.readouterr().out
+        assert "== fig5_storage: cache SRAM (MB)" in out
+        assert "#" in out

@@ -1,0 +1,108 @@
+"""Unit and property tests for affine expressions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ValidationError
+from repro.ir.expr import Affine, Cond, sym
+
+SYMS = st.sampled_from(["i", "j", "k", "N"])
+
+
+@st.composite
+def affines(draw):
+    const = draw(st.integers(-50, 50))
+    n = draw(st.integers(0, 3))
+    expr = Affine(const)
+    for _ in range(n):
+        expr = expr + Affine.var(draw(SYMS), draw(st.integers(-5, 5)))
+    return expr
+
+
+@st.composite
+def envs(draw):
+    return {s: draw(st.integers(-20, 20)) for s in ["i", "j", "k", "N"]}
+
+
+class TestAffineBasics:
+    def test_constant(self):
+        assert Affine.of(5).evaluate({}) == 5
+        assert Affine.of(5).is_constant
+
+    def test_var_and_arithmetic(self):
+        e = sym("i") * 2 + 3 - sym("j")
+        assert e.evaluate({"i": 4, "j": 1}) == 10
+        assert e.coeff("i") == 2 and e.coeff("j") == -1 and e.const == 3
+
+    def test_zero_coefficients_vanish(self):
+        e = sym("i") - sym("i")
+        assert e.is_constant and e.const == 0
+
+    def test_substitute(self):
+        e = sym("i") + sym("j") * 2
+        out = e.substitute({"i": sym("k") + 1})
+        assert out.evaluate({"k": 2, "j": 3}) == 9
+
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(ValidationError):
+            sym("i").evaluate({})
+
+    def test_multiply_non_constant_rejected(self):
+        with pytest.raises(ValidationError):
+            sym("i") * sym("j")
+
+    def test_multiply_by_constant_affine_allowed(self):
+        assert (sym("i") * Affine.of(3)).coeff("i") == 3
+
+    def test_coerce_rejects_non_ints(self):
+        with pytest.raises(ValidationError):
+            Affine.of(1.5)
+        with pytest.raises(ValidationError):
+            Affine.of(True)
+
+    def test_str_roundtrips_sanely(self):
+        assert str(Affine.of(0)) == "0"
+        assert "i" in str(sym("i"))
+
+    def test_hashable_and_equal(self):
+        assert sym("i") + 1 == 1 + sym("i")
+        assert hash(sym("i") + 1) == hash(1 + sym("i"))
+
+
+class TestAffineProperties:
+    @given(affines(), affines(), envs())
+    def test_addition_homomorphic(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(affines(), st.integers(-10, 10), envs())
+    def test_scaling_homomorphic(self, a, k, env):
+        assert (a * k).evaluate(env) == k * a.evaluate(env)
+
+    @given(affines(), envs())
+    def test_negation(self, a, env):
+        assert (-a).evaluate(env) == -a.evaluate(env)
+
+    @given(affines(), affines(), envs())
+    def test_substitute_then_evaluate(self, a, b, env):
+        sub = a.substitute({"i": b})
+        env_i = dict(env)
+        env_i["i"] = b.evaluate(env)
+        assert sub.evaluate(env) == a.evaluate(env_i)
+
+
+class TestCond:
+    @pytest.mark.parametrize("op,expected", [
+        ("<", True), ("<=", True), (">", False), (">=", False),
+        ("==", False), ("!=", True),
+    ])
+    def test_ops(self, op, expected):
+        cond = Cond(sym("i"), op, Affine.of(5))
+        assert cond.evaluate({"i": 3}) is expected
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValidationError):
+            Cond(sym("i"), "<>", Affine.of(0))
+
+    def test_symbols(self):
+        assert Cond(sym("i"), "<", sym("N")).symbols == {"i", "N"}

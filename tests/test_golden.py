@@ -1,0 +1,52 @@
+"""Golden regression pins: exact results for fixed configurations.
+
+The whole stack is deterministic (no randomness, no wall-clock), so these
+exact numbers must reproduce bit-for-bit on every platform.  If an
+intentional model change shifts them, regenerate with::
+
+    python tests/test_golden.py   # prints the new table to paste in
+
+and record the reason in the commit message — these pins exist to make
+*unintentional* behaviour drift loud.
+"""
+
+import pytest
+
+from repro.common.config import default_machine
+from repro.sim import prepare, simulate
+from repro.workloads import build_workload
+
+MACHINE = default_machine().with_(n_procs=4)
+
+# (workload, scheme) -> (exec_cycles, read_misses, total_traffic_words)
+GOLDEN = {
+    ("ocean", "base"): (83865, 2360, 7876),
+    ("ocean", "hw"): (8124, 92, 2331),
+    ("ocean", "sc"): (84165, 2360, 8891),
+    ("ocean", "tpi"): (14149, 241, 5276),
+    ("qcd2", "hw"): (9397, 84, 1627),
+    ("qcd2", "tpi"): (18823, 204, 3553),
+    ("trfd", "hw"): (10860, 153, 2078),
+    ("trfd", "tpi"): (12815, 205, 2626),
+}
+
+
+def _measure(workload, scheme):
+    run = prepare(build_workload(workload, size="small"), MACHINE)
+    r = simulate(run, scheme)
+    return (r.exec_cycles, r.read_misses, r.total_traffic)
+
+
+@pytest.mark.parametrize("workload,scheme", sorted(GOLDEN))
+def test_golden(workload, scheme):
+    assert _measure(workload, scheme) == GOLDEN[(workload, scheme)], (
+        "deterministic result drifted; if the model change is intentional, "
+        "regenerate the pins with `python tests/test_golden.py`")
+
+
+if __name__ == "__main__":
+    print("GOLDEN = {")
+    for workload, scheme in sorted(GOLDEN):
+        values = _measure(workload, scheme)
+        print(f'    ("{workload}", "{scheme}"): {values},')
+    print("}")

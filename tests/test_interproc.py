@@ -1,0 +1,73 @@
+"""Tests for the call graph and interprocedural MOD/USE summaries."""
+
+import pytest
+
+from repro.common.errors import CompilationError
+from repro.compiler.callgraph import bottom_up_order, call_edges, callers_of
+from repro.compiler.interproc import procedure_summaries
+from repro.ir import ProgramBuilder
+
+
+def layered_program():
+    b = ProgramBuilder("layered", params={"N": 8})
+    b.array("A", (8,))
+    b.array("B", (8,))
+    b.array("scratch", (8,), private=True)
+    with b.procedure("leaf"):
+        with b.serial("i", 0, 3) as i:
+            b.stmt(writes=[b.at("A", i)], reads=[b.at("B", i)])
+    with b.procedure("mid"):
+        b.call("leaf")
+        b.stmt(writes=[b.at("B", 7)])
+        b.stmt(writes=[b.at("scratch", 0)])
+    with b.procedure("main"):
+        b.call("mid")
+        b.call("leaf")
+    return b.build()
+
+
+class TestCallGraph:
+    def test_edges(self):
+        edges = call_edges(layered_program())
+        assert edges["main"] == {"mid", "leaf"}
+        assert edges["mid"] == {"leaf"}
+        assert edges["leaf"] == set()
+
+    def test_bottom_up_order(self):
+        order = bottom_up_order(layered_program())
+        assert order.index("leaf") < order.index("mid") < order.index("main")
+
+    def test_callers(self):
+        callers = callers_of(layered_program())
+        assert callers["leaf"] == {"mid", "main"}
+        assert callers["main"] == set()
+
+
+class TestSummaries:
+    def test_leaf_summary(self):
+        summaries = procedure_summaries(layered_program())
+        leaf = summaries["leaf"]
+        mod = leaf.mod["A"].union_all()
+        assert mod.dims[0].lo == 0 and mod.dims[0].hi == 3
+        use = leaf.use["B"].union_all()
+        assert use.dims[0].hi == 3
+
+    def test_transitive_closure(self):
+        summaries = procedure_summaries(layered_program())
+        main = summaries["main"]
+        assert "A" in main.mod  # through mid -> leaf
+        assert "B" in main.mod  # mid's own write
+        assert main.mod["B"].overlaps(
+            summaries["mid"].mod["B"].union_all())
+
+    def test_private_arrays_excluded(self):
+        summaries = procedure_summaries(layered_program())
+        assert "scratch" not in summaries["mid"].mod
+
+    def test_summary_merge(self):
+        summaries = procedure_summaries(layered_program())
+        a = summaries["leaf"]
+        before = len(a.mod["A"].sections)
+        a.merge(summaries["mid"])
+        assert "B" in a.mod
+        assert len(a.mod["A"].sections) >= before

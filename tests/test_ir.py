@@ -1,0 +1,155 @@
+"""Unit tests for the IR: builder, program structure, validation."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.ir import Affine, Loop, ProgramBuilder, Sharing, Statement, sym
+from repro.ir.program import walk
+
+
+def small_program():
+    b = ProgramBuilder("demo", params={"N": 8})
+    b.array("A", (8, 8))
+    b.array("x", (8,), private=True)
+    with b.procedure("main"):
+        with b.doall("i", 0, 7) as i:
+            b.stmt(writes=[b.at("A", i, 0)], reads=[b.at("x", i)], work=2)
+        with b.serial("j", 0, 7) as j:
+            b.stmt(reads=[b.at("A", j, 0)], work=1)
+    return b.build()
+
+
+class TestBuilder:
+    def test_builds_valid_program(self):
+        p = small_program()
+        assert p.entry == "main"
+        assert p.arrays["A"].sharing is Sharing.SHARED
+        assert p.arrays["x"].sharing is Sharing.PRIVATE
+        assert p.n_sites == 3
+        body = p.procedures["main"].body
+        assert isinstance(body[0], Loop) and body[0].parallel
+        assert isinstance(body[1], Loop) and not body[1].parallel
+
+    def test_site_ids_unique_and_dense(self):
+        p = small_program()
+        sites = [ref.site
+                 for node in walk(p.procedures["main"].body)
+                 if isinstance(node, Statement)
+                 for ref in (*node.reads, *node.writes)]
+        assert sorted(sites) == list(range(p.n_sites))
+
+    def test_stmt_outside_procedure_rejected(self):
+        b = ProgramBuilder("bad")
+        b.array("A", (4,))
+        with pytest.raises(ValidationError):
+            b.stmt(reads=[b.at("A", 0)])
+
+    def test_duplicate_array_rejected(self):
+        b = ProgramBuilder("bad")
+        b.array("A", (4,))
+        with pytest.raises(ValidationError):
+            b.array("A", (4,))
+
+    def test_undeclared_array_rejected(self):
+        b = ProgramBuilder("bad")
+        with pytest.raises(ValidationError):
+            b.at("missing", 0)
+
+    def test_scalar_assign_enters_scope(self):
+        b = ProgramBuilder("scal", params={"N": 4})
+        b.array("A", (16,))
+        with b.procedure("main"):
+            off = b.assign("off", b.p("N") * 2)
+            with b.doall("i", 0, 3) as i:
+                b.stmt(writes=[b.at("A", i + off)])
+        p = b.build()
+        assert p.n_sites == 1
+
+    def test_critical_section(self):
+        b = ProgramBuilder("cs")
+        b.array("sum", (1,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 3) as i:
+                with b.critical("L"):
+                    b.stmt(writes=[b.at("sum", 0)], reads=[b.at("sum", 0)])
+        p = b.build()
+        assert p.n_sites == 2
+
+
+class TestValidation:
+    def test_missing_entry(self):
+        b = ProgramBuilder("noentry")
+        with b.procedure("other"):
+            pass
+        with pytest.raises(ValidationError):
+            b.build(entry="main")
+
+    def test_nested_doall_rejected(self):
+        b = ProgramBuilder("nest")
+        b.array("A", (8, 8))
+        with pytest.raises(ValidationError):
+            with b.procedure("main"):
+                with b.doall("i", 0, 7) as i:
+                    with b.doall("j", 0, 7) as j:
+                        b.stmt(writes=[b.at("A", i, j)])
+            b.build()
+
+    def test_doall_through_call_rejected(self):
+        b = ProgramBuilder("nestcall")
+        b.array("A", (8,))
+        with b.procedure("inner"):
+            with b.doall("k", 0, 7) as k:
+                b.stmt(writes=[b.at("A", k)])
+        with b.procedure("main"):
+            with b.doall("i", 0, 7):
+                b.call("inner")
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_recursion_rejected(self):
+        b = ProgramBuilder("rec")
+        with b.procedure("main"):
+            b.call("main")
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_undefined_callee_rejected(self):
+        b = ProgramBuilder("undef")
+        with b.procedure("main"):
+            b.call("ghost")
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_rank_mismatch_rejected(self):
+        b = ProgramBuilder("rank")
+        b.array("A", (4, 4))
+        with b.procedure("main"):
+            b.stmt(reads=[b.at("A", 0)])
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_unbound_symbol_rejected(self):
+        b = ProgramBuilder("unbound")
+        b.array("A", (4,))
+        with b.procedure("main"):
+            b.stmt(reads=[b.at("A", sym("q"))])
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_index_shadowing_rejected(self):
+        b = ProgramBuilder("shadow", params={"N": 4})
+        b.array("A", (4,))
+        with pytest.raises(ValidationError):
+            with b.procedure("main"):
+                with b.serial("N", 0, 3) as n:
+                    b.stmt(reads=[b.at("A", n)])
+            b.build()
+
+    def test_scalar_use_before_assign_rejected(self):
+        b = ProgramBuilder("order")
+        b.array("A", (16,))
+        with b.procedure("main"):
+            b.stmt(reads=[b.at("A", sym("off"))])
+            b.assign("off", 2)
+        with pytest.raises(ValidationError):
+            b.build()

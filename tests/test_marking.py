@@ -1,0 +1,343 @@
+"""Tests for the stale-reference marking pass (Time-Read insertion).
+
+These check the classic scenarios the paper describes: cross-epoch staleness,
+the serial->serial same-processor precision, DOALL cross-iteration
+dependences, intra-task validation downgrades, critical sections, and the
+interprocedural modes.
+"""
+
+import pytest
+
+from repro.compiler import InterprocMode, MarkingOptions, RefMark, mark_program
+from repro.ir import ProgramBuilder
+
+
+def mark_of(marking, ref):
+    return marking.tpi_mark(ref.site)
+
+
+class TestCrossEpochStaleness:
+    def test_read_after_parallel_write_is_time_read(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+            r = b.at("A", 3)
+            b.stmt(reads=[r])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.TIME_READ
+
+    def test_parallel_read_after_serial_write_is_time_read(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        b.array("B", (8,))
+        with b.procedure("main"):
+            b.stmt(writes=[b.at("A", 0)])
+            with b.doall("i", 0, 7) as i:
+                r = b.at("A", 0)
+                b.stmt(reads=[r], writes=[b.at("B", i)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.TIME_READ
+
+    def test_serial_read_after_serial_write_is_normal(self):
+        """Serial epochs share the master processor: never stale."""
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        b.array("B", (8,))
+        with b.procedure("main"):
+            b.stmt(writes=[b.at("A", 0)])
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("B", i)])  # unrelated array
+            r = b.at("A", 0)
+            b.stmt(reads=[r])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.READ
+
+    def test_migration_flag_kills_serial_precision(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        b.array("B", (8,))
+        with b.procedure("main"):
+            b.stmt(writes=[b.at("A", 0)])
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("B", i)])
+            r = b.at("A", 0)
+            b.stmt(reads=[r])
+        m = mark_program(b.build(), opts=MarkingOptions(assume_no_migration=False))
+        assert m.tpi_mark(r.site) is RefMark.TIME_READ
+
+    def test_disjoint_sections_not_stale(self):
+        b = ProgramBuilder("p")
+        b.array("A", (16,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])  # writes 0..7
+            r = b.at("A", 12)
+            b.stmt(reads=[r])  # reads 12: untouched
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.READ
+
+    def test_write_in_later_epoch_not_stale_without_loop(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        with b.procedure("main"):
+            r = b.at("A", 0)
+            b.stmt(reads=[r])
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.READ
+
+    def test_loop_back_edge_makes_later_write_stale(self):
+        b = ProgramBuilder("p", params={"T": 4})
+        b.array("A", (8,))
+        b.array("B", (8,))
+        with b.procedure("main"):
+            with b.serial("t", 0, b.p("T") - 1):
+                with b.doall("i", 0, 7) as i:
+                    r = b.at("A", i)  # reads what the *next* doall wrote last time
+                    b.stmt(reads=[r], writes=[b.at("B", i)])
+                with b.doall("j", 0, 7) as j:
+                    b.stmt(writes=[b.at("A", j)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.TIME_READ
+
+
+class TestSameEpochDependences:
+    def test_same_iteration_access_is_normal(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        b.array("B", (8,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+                r = b.at("A", i)  # same element, same task
+                b.stmt(reads=[r], writes=[b.at("B", i)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.READ
+
+    def test_cross_iteration_read_is_time_read(self):
+        b = ProgramBuilder("p")
+        b.array("A", (16,))
+        b.array("B", (16,))
+        with b.procedure("main"):
+            with b.doall("i", 1, 7) as i:
+                r = b.at("A", i - 1)  # neighbour element: another task writes it
+                b.stmt(reads=[r], writes=[b.at("A", i)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.TIME_READ
+
+    def test_disjoint_halves_in_same_doall_are_normal(self):
+        b = ProgramBuilder("p")
+        b.array("A", (32,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                r = b.at("A", i + 16)  # reads upper half
+                b.stmt(reads=[r], writes=[b.at("A", i)])  # writes lower half
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.READ
+
+    def test_strided_write_vs_offset_read_disjoint(self):
+        b = ProgramBuilder("p")
+        b.array("A", (64,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                r = b.at("A", i * 2 + 1)  # odd elements
+                b.stmt(reads=[r], writes=[b.at("A", i * 2)])  # even elements
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.READ
+
+
+class TestIntraTaskValidation:
+    def test_read_after_own_write_downgraded(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        b.array("B", (8,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+            with b.doall("j", 0, 7) as j:
+                b.stmt(writes=[b.at("A", j)])  # own write validates
+                r = b.at("A", j)
+                b.stmt(reads=[r], writes=[b.at("B", j)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.READ
+        assert m.sc_mark(r.site) is RefMark.READ  # write validates SC too
+
+    def test_read_after_time_read_downgraded_for_tpi_only(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        b.array("B", (8, 2))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+            with b.doall("j", 0, 7) as j:
+                r1 = b.at("A", j)
+                b.stmt(reads=[r1], writes=[b.at("B", j, 0)])
+                r2 = b.at("A", j)
+                b.stmt(reads=[r2], writes=[b.at("B", j, 1)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r1.site) is RefMark.TIME_READ
+        assert m.tpi_mark(r2.site) is RefMark.READ  # validated by r1
+        assert m.sc_mark(r1.site) is RefMark.TIME_READ
+        assert m.sc_mark(r2.site) is RefMark.TIME_READ  # bypass validates nothing
+
+    def test_reuse_disabled_keeps_time_reads(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        b.array("B", (8,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+            with b.doall("j", 0, 7) as j:
+                b.stmt(writes=[b.at("A", j)])
+                r = b.at("A", j)
+                b.stmt(reads=[r], writes=[b.at("B", j)])
+        m = mark_program(b.build(), opts=MarkingOptions(intra_task_reuse=False))
+        assert m.tpi_mark(r.site) is RefMark.TIME_READ
+
+    def test_validation_does_not_leak_across_inner_loop_iterations(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8, 8))
+        b.array("B", (8, 8))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i, 0)])
+            with b.doall("x", 0, 7) as x:
+                with b.serial("k", 0, 7) as k:
+                    r = b.at("A", x, k)  # read before the write in body order
+                    b.stmt(reads=[r], writes=[b.at("B", x, k)])
+                    b.stmt(writes=[b.at("A", x, k)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.TIME_READ
+
+    def test_branch_validation_intersects(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        b.array("A", (8,))
+        b.array("B", (8, 2))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+            with b.doall("j", 0, 7) as j:
+                with b.when(b.v("j"), "<", 4):
+                    b.stmt(writes=[b.at("A", j)])  # validates only in then-branch
+                r = b.at("A", j)
+                b.stmt(reads=[r], writes=[b.at("B", j, 0)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.TIME_READ
+
+
+class TestCriticalSections:
+    def test_reads_in_critical_section_forced_time_read(self):
+        b = ProgramBuilder("p")
+        b.array("sum", (1,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                with b.critical("L"):
+                    r = b.at("sum", 0)
+                    b.stmt(reads=[r], writes=[b.at("sum", 0)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.TIME_READ
+
+    def test_critical_read_of_never_written_array_is_normal(self):
+        b = ProgramBuilder("p")
+        b.array("cfg", (4,))
+        b.array("B", (8,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                with b.critical("L"):
+                    r = b.at("cfg", 0)
+                    b.stmt(reads=[r], writes=[b.at("B", i)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.READ
+
+    def test_validation_cleared_after_critical_section(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        b.array("B", (8, 2))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+            with b.doall("j", 0, 7) as j:
+                b.stmt(writes=[b.at("A", j)])  # would validate...
+                with b.critical("L"):
+                    b.stmt(writes=[b.at("B", j, 0)])
+                r = b.at("A", j)  # ...but the lock region cleared it
+                b.stmt(reads=[r], writes=[b.at("B", j, 1)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.TIME_READ
+
+
+class TestPrivateData:
+    def test_private_arrays_never_time_read(self):
+        b = ProgramBuilder("p")
+        b.array("tmp", (8,), private=True)
+        b.array("B", (8,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("tmp", i)])
+            with b.doall("j", 0, 7) as j:
+                r = b.at("tmp", j)
+                b.stmt(reads=[r], writes=[b.at("B", j)])
+        m = mark_program(b.build())
+        assert m.tpi_mark(r.site) is RefMark.READ
+
+
+class TestInterprocModes:
+    def build(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        b.array("C", (8,))
+        self_refs = {}
+        with b.procedure("reader"):
+            r = b.at("C", 0)
+            b.stmt(reads=[r])
+            self_refs["r"] = r
+        with b.procedure("main"):
+            b.stmt(writes=[b.at("C", 0)])  # serial write: same processor
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+            b.call("reader")
+        return b.build(), self_refs
+
+    def test_inline_mode_sees_same_processor(self):
+        program, refs = self.build()
+        m = mark_program(program, opts=MarkingOptions(interproc=InterprocMode.INLINE))
+        assert m.tpi_mark(refs["r"].site) is RefMark.READ
+
+    def test_none_mode_marks_everything_written(self):
+        program, refs = self.build()
+        m = mark_program(program, opts=MarkingOptions(interproc=InterprocMode.NONE))
+        assert m.tpi_mark(refs["r"].site) is RefMark.TIME_READ
+
+    def test_summary_mode_widens_callee_sections(self):
+        b = ProgramBuilder("p")
+        b.array("A", (16,))
+        b.array("B", (16,))
+        with b.procedure("reader"):
+            r = b.at("A", 12)  # disjoint from the writes under INLINE
+            b.stmt(reads=[r])
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+            b.call("reader")
+        program = b.build()
+        inline = mark_program(program, opts=MarkingOptions(interproc=InterprocMode.INLINE))
+        summary = mark_program(program, opts=MarkingOptions(interproc=InterprocMode.SUMMARY))
+        assert inline.tpi_mark(r.site) is RefMark.READ
+        assert summary.tpi_mark(r.site) is RefMark.TIME_READ
+
+
+class TestStats:
+    def test_stats_counts(self):
+        b = ProgramBuilder("p")
+        b.array("A", (8,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+            b.stmt(reads=[b.at("A", 0)])
+        m = mark_program(b.build())
+        assert m.stats["sites.time_read.tpi"] == 1
+        assert m.stats["epochs.parallel"] == 1
+        assert m.stats["epochs"] == 2

@@ -1,0 +1,61 @@
+"""Unit tests for SimResult metrics accounting."""
+
+from repro.common.stats import MissKind, TrafficClass
+from repro.sim.metrics import SimResult
+
+
+def make_result():
+    r = SimResult(scheme="tpi", program="p", n_procs=4)
+    r.note_read(shared=True, kind=MissKind.HIT, latency=1)
+    r.note_read(shared=True, kind=MissKind.COLD, latency=100)
+    r.note_read(shared=False, kind=MissKind.CONSERVATIVE, latency=140)
+    r.note_read(shared=True, kind=MissKind.TRUE_SHARING, latency=160)
+    r.note_write(shared=True)
+    r.note_write(shared=False)
+    r.note_traffic(10, 4, 2)
+    r.note_traffic(5, 0, 0)
+    return r
+
+
+class TestAccounting:
+    def test_read_counts(self):
+        r = make_result()
+        assert r.reads == 4
+        assert r.shared_reads == 3
+        assert r.read_misses == 3
+        assert r.miss_rate == 0.75
+
+    def test_latency_only_over_misses(self):
+        r = make_result()
+        assert r.miss_latency_count == 3
+        assert r.avg_miss_latency == (100 + 140 + 160) / 3
+
+    def test_unnecessary(self):
+        r = make_result()
+        assert r.unnecessary_misses == 1
+        assert r.unnecessary_fraction == 1 / 3
+
+    def test_traffic(self):
+        r = make_result()
+        assert r.traffic[TrafficClass.READ] == 15
+        assert r.traffic[TrafficClass.WRITE] == 4
+        assert r.traffic[TrafficClass.COHERENCE] == 2
+        assert r.total_traffic == 21
+        assert r.traffic_per_access() == 21 / 6
+
+    def test_kind_count(self):
+        r = make_result()
+        assert r.kind_count(MissKind.COLD) == 1
+        assert r.kind_count(MissKind.FALSE_SHARING) == 0
+
+    def test_summary_renders(self):
+        text = make_result().summary()
+        assert "p / tpi" in text
+        assert "miss rate 75.00%" in text
+
+    def test_empty_result_no_division_errors(self):
+        r = SimResult(scheme="hw", program="p", n_procs=1)
+        assert r.miss_rate == 0.0
+        assert r.avg_miss_latency == 0.0
+        assert r.unnecessary_fraction == 0.0
+        assert r.traffic_per_access() == 0.0

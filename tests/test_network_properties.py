@@ -1,0 +1,60 @@
+"""Property tests for the Kruskal-Snir network model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import MachineConfig, NetworkConfig
+from repro.memsys.network import KruskalSnirNetwork
+
+
+def make_net(**net_kw):
+    return KruskalSnirNetwork(MachineConfig(network=NetworkConfig(**net_kw)))
+
+
+class TestModelProperties:
+    @given(st.floats(0.0, 0.94), st.floats(0.0, 0.94))
+    def test_latency_monotone_in_load(self, a, b):
+        net = make_net()
+        lo, hi = sorted((a, b))
+        net.rho = lo
+        lat_lo = net.miss_latency(4)
+        net.rho = hi
+        assert net.miss_latency(4) >= lat_lo
+
+    @given(st.floats(0.0, 0.94), st.integers(1, 32), st.integers(1, 32))
+    def test_latency_monotone_in_line_words(self, rho, w1, w2):
+        net = make_net()
+        net.rho = rho
+        lo, hi = sorted((w1, w2))
+        assert net.miss_latency(hi) >= net.miss_latency(lo)
+
+    @given(st.floats(0.0, 0.94))
+    def test_latency_at_least_base(self, rho):
+        net = make_net()
+        net.rho = rho
+        assert net.miss_latency(1) >= net.base_miss_latency
+
+    @given(st.floats(-5.0, 5.0))
+    def test_queueing_clamped_and_nonnegative(self, rho):
+        net = make_net()
+        q = net.stage_queueing(rho)
+        assert q >= 0.0
+        assert q <= net.stage_queueing(net.config.max_load)
+
+    @given(st.integers(2, 4096))
+    def test_stage_count_sane(self, procs):
+        net = make_net()
+        stages = net.config.stages(procs)
+        assert 1 <= stages
+        assert net.config.switch_degree ** stages >= procs
+
+    @settings(max_examples=50)
+    @given(st.lists(st.tuples(st.integers(0, 10_000), st.integers(1, 10_000)),
+                    min_size=1, max_size=20),
+           st.floats(0.05, 1.0))
+    def test_observed_load_always_in_range(self, epochs, smoothing):
+        net = make_net()
+        for words, cycles in epochs:
+            net.observe_epoch(words, cycles, smoothing)
+            assert 0.0 <= net.rho <= net.config.max_load

@@ -1,0 +1,65 @@
+"""Tests for the Figure 5 storage-overhead model."""
+
+from repro.overhead import (
+    figure5_table,
+    full_map_overhead,
+    limitless_overhead,
+    render_figure5,
+    tpi_overhead,
+)
+
+
+class TestFormulas:
+    def test_full_map(self):
+        row = full_map_overhead(n_procs=1024, cache_lines=16 * 1024,
+                                memory_blocks=512 * 1024)
+        assert row.cache_sram_bits == 2 * 16 * 1024 * 1024
+        assert row.memory_dram_bits == 1026 * 512 * 1024 * 1024
+
+    def test_limitless_scales_with_pointers(self):
+        small = limitless_overhead(64, 1024, 4096, pointers=4)
+        large = limitless_overhead(64, 1024, 4096, pointers=16)
+        assert large.memory_dram_bits == 3 * small.memory_dram_bits
+
+    def test_tpi_no_dram(self):
+        row = tpi_overhead(n_procs=64, cache_lines=1024, line_words=4)
+        assert row.memory_dram_bits == 0
+        assert row.cache_sram_bits == 8 * 4 * 1024 * 64
+
+    def test_tpi_scales_with_tag_width(self):
+        k4 = tpi_overhead(64, 1024, 4, timetag_bits=4)
+        k8 = tpi_overhead(64, 1024, 4, timetag_bits=8)
+        assert k8.cache_sram_bits == 2 * k4.cache_sram_bits
+
+
+class TestPaperOperatingPoint:
+    def test_quoted_totals(self):
+        rows = {r.scheme: r for r in figure5_table()}
+        mb = 8 << 20
+        gb = 8 << 30
+        # Paper: 4 MB SRAM for the directories, 64 MB for TPI.
+        assert rows["full-map"].cache_sram_bits == 4 * mb
+        assert rows["two-phase invalidation"].cache_sram_bits == 64 * mb
+        # Paper: 64.5 GB full-map DRAM; our formula gives 64.1 GB.
+        assert 60 * gb <= rows["full-map"].memory_dram_bits <= 70 * gb
+        assert rows["two-phase invalidation"].memory_dram_bits == 0
+
+    def test_tpi_cheapest_total_at_scale(self):
+        rows = {r.scheme: r for r in figure5_table()}
+        assert (rows["two-phase invalidation"].total_bits
+                < rows["full-map"].total_bits)
+        assert (rows["two-phase invalidation"].total_bits
+                < rows["LimitLess DIR_10"].total_bits)
+
+
+class TestRendering:
+    def test_render_contains_all_schemes(self):
+        text = render_figure5(figure5_table())
+        assert "full-map" in text
+        assert "LimitLess" in text
+        assert "two-phase invalidation" in text
+        assert "64.0 MB SRAM" in text
+
+    def test_pretty_none(self):
+        row = tpi_overhead(1, 0, 4)
+        assert row.pretty == "none"

@@ -1,0 +1,185 @@
+"""End-to-end property tests: marking soundness and hardware safety.
+
+Hypothesis generates random small parallel programs; every scheme's
+internal coherence oracle (see ``CoherenceScheme._check_read_version``)
+verifies on *every read* that the observed data version is legal under the
+memory model.  A marking bug (a read left unmarked that can be stale), a
+TPI hardware bug (a Time-Read hitting a stale copy, a reset missing an
+aliasing tag), or a directory protocol bug all surface as a
+``SimulationError`` here.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import (
+    CacheConfig,
+    SchedulePolicy,
+    TimetagResetPolicy,
+    TpiConfig,
+    default_machine,
+)
+from repro.compiler.marking import MarkingOptions
+from repro.ir import ProgramBuilder
+from repro.sim import prepare, simulate
+from repro.trace.schedule import MigrationSpec
+
+N_ARR = 12  # elements per shared array
+
+
+@st.composite
+def subscripts(draw, index):
+    """A random affine subscript in the DOALL index, clamped in-bounds."""
+    kind = draw(st.sampled_from(["ident", "shift", "stride", "const", "rev"]))
+    if kind == "ident":
+        return index
+    if kind == "shift":
+        # Non-negative shifts keep subscripts in [0, N_ARR-1] for i <= 5.
+        return index + draw(st.integers(0, 2))
+    if kind == "stride":
+        return index * 2 + draw(st.integers(0, 1))
+    if kind == "rev":
+        return draw(st.integers(N_ARR - 4, N_ARR - 1)) - index
+    return draw(st.integers(0, N_ARR - 1))
+
+
+@st.composite
+def programs(draw):
+    """A random program: 2..5 epochs over two shared arrays."""
+    b = ProgramBuilder("random", params={})
+    b.array("A", (N_ARR,))
+    b.array("B", (N_ARR,))
+    n_epochs = draw(st.integers(2, 5))
+    loop_around = draw(st.booleans())
+    site_budget = 0
+
+    def segment(tag):
+        nonlocal site_budget
+        parallel = draw(st.booleans())
+        lo = draw(st.integers(0, 2))
+        hi = draw(st.integers(lo, 5))
+        ctx = b.doall if parallel else b.serial
+        with ctx(f"i{tag}", lo, hi) as i:
+            for s in range(draw(st.integers(1, 2))):
+                reads = []
+                writes = []
+                for arr in ("A", "B"):
+                    action = draw(st.sampled_from(["read", "write", "skip"]))
+                    sub = draw(subscripts(i))
+                    # Clamp: subscripts stay in range for i in [0, 5].
+                    safe = sub if isinstance(sub, int) else sub
+                    if action == "read":
+                        reads.append(b.at(arr, _clamped(b, safe)))
+                    elif action == "write":
+                        writes.append(b.at(arr, _clamped(b, safe)))
+                if reads or writes:
+                    b.stmt(reads=reads, writes=writes, work=1)
+                    site_budget += len(reads) + len(writes)
+
+    def _clamped(b, sub):
+        return sub
+
+    with b.procedure("main"):
+        if loop_around:
+            trips = draw(st.integers(2, 4))
+            b.param("T", trips)
+            with b.serial("t", 0, b.p("T") - 1):
+                for e in range(n_epochs):
+                    segment(f"{e}")
+        else:
+            for e in range(n_epochs):
+                segment(f"{e}")
+    return b.build()
+
+
+def _run_all_schemes(program, machine, opts=None, migration=None):
+    run = prepare(program, machine, opts=opts, migration=migration)
+    for scheme in ("base", "sc", "tpi", "hw", "update"):
+        result = simulate(run, scheme)
+        assert sum(result.miss_counts.values()) == result.reads
+    return run
+
+
+class TestMarkingSoundness:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(programs(), st.sampled_from(list(SchedulePolicy)),
+           st.integers(2, 4))
+    def test_no_scheme_reads_stale_data(self, program, policy, n_procs):
+        """The central soundness property: for random programs under any
+        scheduling, every read of every scheme observes a legal version."""
+        machine = default_machine().with_(
+            n_procs=n_procs, schedule=policy,
+            cache=CacheConfig(size_bytes=1024, line_words=4),
+            epoch_setup_cycles=5, task_dispatch_cycles=1)
+        _run_all_schemes(program, machine)
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(programs(), st.integers(1, 4))
+    def test_tpi_safe_across_timetag_wraparound(self, program, bits):
+        """Tiny timetags wrap constantly; the two-phase reset must prevent
+        any modular-age aliasing from producing a stale hit."""
+        machine = default_machine().with_(
+            n_procs=2,
+            cache=CacheConfig(size_bytes=1024, line_words=4),
+            tpi=TpiConfig(timetag_bits=bits),
+            epoch_setup_cycles=5, task_dispatch_cycles=1)
+        run = prepare(program, machine)
+        simulate(run, "tpi")
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(programs())
+    def test_flush_policy_also_safe(self, program):
+        machine = default_machine().with_(
+            n_procs=2,
+            cache=CacheConfig(size_bytes=1024, line_words=4),
+            tpi=TpiConfig(timetag_bits=2,
+                          reset_policy=TimetagResetPolicy.FLUSH),
+            epoch_setup_cycles=5, task_dispatch_cycles=1)
+        simulate(prepare(program, machine), "tpi")
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(programs(), st.integers(2, 9))
+    def test_safe_under_task_migration(self, program, every):
+        """With migration injected, the safe marking mode must still keep
+        every read coherent (Section 5 of the paper)."""
+        machine = default_machine().with_(
+            n_procs=3,
+            cache=CacheConfig(size_bytes=1024, line_words=4),
+            epoch_setup_cycles=5, task_dispatch_cycles=1)
+        _run_all_schemes(program, machine,
+                         opts=MarkingOptions(assume_no_migration=False),
+                         migration=MigrationSpec(every=every))
+
+
+class TestSchemeAgreement:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(programs())
+    def test_access_counts_identical_across_schemes(self, program):
+        machine = default_machine().with_(
+            n_procs=2, cache=CacheConfig(size_bytes=1024, line_words=4),
+            epoch_setup_cycles=5, task_dispatch_cycles=1)
+        run = prepare(program, machine)
+        results = [simulate(run, s)
+                   for s in ("base", "sc", "tpi", "hw", "update")]
+        assert len({r.reads for r in results}) == 1
+        assert len({r.writes for r in results}) == 1
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(programs())
+    def test_directory_invariants_after_random_program(self, program):
+        machine = default_machine().with_(
+            n_procs=3, cache=CacheConfig(size_bytes=512, line_words=4),
+            epoch_setup_cycles=5, task_dispatch_cycles=1)
+        run = prepare(program, machine)
+        from repro.sim.engine import Engine
+
+        engine = Engine(run.trace, run.marking, machine, "hw")
+        engine.run()
+        engine.scheme.check_invariants()

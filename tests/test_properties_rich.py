@@ -1,0 +1,120 @@
+"""Property tests over structurally rich random programs.
+
+Complements ``test_properties.py``: the generator here exercises calls
+(pure-serial and DOALL-containing helpers), If branches around epochs,
+2-D arrays, critical sections, private scratch arrays, and scalar
+assignments — with every scheme's per-read coherence oracle active.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import (
+    CacheConfig,
+    SchedulePolicy,
+    TpiConfig,
+    default_machine,
+)
+from repro.compiler import mark_program
+from repro.compiler.marking import InterprocMode, MarkingOptions
+from repro.sim import prepare, simulate
+from repro.trace.schedule import MigrationSpec
+from tests.strategies import rich_programs
+
+SETTINGS = dict(deadline=None,
+                suppress_health_check=[HealthCheck.too_slow,
+                                       HealthCheck.data_too_large])
+
+
+def small(**kw):
+    defaults = dict(n_procs=3,
+                    cache=CacheConfig(size_bytes=1024, line_words=4),
+                    epoch_setup_cycles=5, task_dispatch_cycles=1)
+    defaults.update(kw)
+    return default_machine().with_(**defaults)
+
+
+class TestRichPrograms:
+    @settings(max_examples=40, **SETTINGS)
+    @given(rich_programs(), st.sampled_from(list(SchedulePolicy)))
+    def test_all_schemes_coherent(self, program, policy):
+        run = prepare(program, small(schedule=policy))
+        for scheme in ("base", "sc", "tpi", "hw", "update"):
+            result = simulate(run, scheme)
+            assert sum(result.miss_counts.values()) == result.reads
+            assert sum(result.breakdown.values()) == (
+                result.n_procs * result.exec_cycles)
+
+    @settings(max_examples=25, **SETTINGS)
+    @given(rich_programs(), st.integers(1, 3))
+    def test_tpi_wraparound_safe(self, program, bits):
+        machine = small(tpi=TpiConfig(timetag_bits=bits))
+        simulate(prepare(program, machine), "tpi")
+
+    @settings(max_examples=20, **SETTINGS)
+    @given(rich_programs())
+    def test_migration_safe(self, program):
+        run = prepare(program, small(),
+                      opts=MarkingOptions(assume_no_migration=False),
+                      migration=MigrationSpec(every=5))
+        simulate(run, "tpi")
+        simulate(run, "hw")
+
+    @settings(max_examples=20, **SETTINGS)
+    @given(rich_programs())
+    def test_all_interproc_modes_sound(self, program):
+        """Less precise analysis modes must still be safe (they may only
+        add Time-Reads, never remove needed ones)."""
+        machine = small()
+        counts = {}
+        for mode in InterprocMode:
+            run = prepare(program, machine,
+                          opts=MarkingOptions(interproc=mode))
+            simulate(run, "tpi")
+            counts[mode] = run.marking.stats["sites.time_read.tpi"]
+        assert counts[InterprocMode.INLINE] <= counts[InterprocMode.NONE]
+
+    @settings(max_examples=20, **SETTINGS)
+    @given(rich_programs())
+    def test_marking_deterministic(self, program):
+        a = mark_program(program)
+        b = mark_program(program)
+        assert a.tpi == b.tpi
+        assert a.sc == b.sc
+        assert a.strict_sites == b.strict_sites
+
+
+class TestPrivateDataUnderMigration:
+    def test_private_storage_becomes_coherent(self):
+        """Regression: a migrated task fragment accesses the original
+        processor's 'private' storage from another processor; all schemes
+        must treat it coherently (found by the arc2d residual phase)."""
+        from repro.ir import ProgramBuilder
+        from repro.compiler.marking import RefMark
+
+        b = ProgramBuilder("privmig", params={"T": 3})
+        b.array("A", (16,))
+        b.array("scratch", (4,), private=True)
+        refs = {}
+        with b.procedure("main"):
+            with b.serial("t", 0, b.p("T") - 1):
+                with b.doall("i", 0, 15) as i:
+                    b.stmt(writes=[b.at("scratch", 0)], reads=[b.at("A", i)],
+                           work=3)
+                    refs["priv_read"] = b.at("scratch", 0)
+                    b.stmt(reads=[refs["priv_read"]], writes=[b.at("A", i)],
+                           work=3)
+        program = b.build()
+
+        # Without migration: private reads stay ordinary reads.
+        plain = prepare(program, small())
+        assert plain.marking.tpi_mark(refs["priv_read"].site) is RefMark.READ
+
+        # With migration: the same site must be protected, and every scheme
+        # must run without tripping the version oracle.
+        migrated = prepare(program, small(n_procs=4),
+                           opts=MarkingOptions(assume_no_migration=False),
+                           migration=MigrationSpec(every=2))
+        for scheme in ("base", "sc", "tpi", "hw", "update"):
+            simulate(migrated, scheme)

@@ -1,0 +1,39 @@
+"""The public API surface: everything re-exported from ``repro`` works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_star_import_namespace(self):
+        namespace = {}
+        exec("from repro import *", namespace)  # noqa: S102 - deliberate
+        for name in repro.__all__:
+            assert name in namespace
+
+    @pytest.mark.parametrize("module", [
+        "repro.common", "repro.ir", "repro.compiler", "repro.trace",
+        "repro.memsys", "repro.coherence", "repro.sim", "repro.overhead",
+        "repro.workloads", "repro.experiments", "repro.cli",
+    ])
+    def test_subpackages_importable(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__, f"{module} needs a module docstring"
+
+    def test_minimal_happy_path(self):
+        """The README quickstart, condensed."""
+        run = repro.prepare(repro.build_workload("ocean", size="small"),
+                            repro.default_machine().with_(n_procs=2))
+        results = repro.simulate_all(run, ("tpi", "hw"))
+        assert results["tpi"].exec_cycles > 0
+        assert "ocean / tpi" in results["tpi"].summary()

@@ -1,0 +1,180 @@
+"""Unit + property tests for range analysis and regular sections."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compiler.ranges import (
+    RangeEnv,
+    interval_add,
+    interval_scale,
+    interval_union,
+    intervals_overlap,
+)
+from repro.compiler.sections import DimSection, RegularSection, SectionList, section_of, whole_array_section
+from repro.ir.expr import Affine, sym
+from repro.ir.program import Array, ArrayRef
+
+
+class TestIntervals:
+    def test_add(self):
+        assert interval_add((1, 2), (3, 4)) == (4, 6)
+        assert interval_add((None, 2), (3, 4)) == (None, 6)
+
+    def test_scale(self):
+        assert interval_scale((1, 3), 2) == (2, 6)
+        assert interval_scale((1, 3), -1) == (-3, -1)
+        assert interval_scale((None, 3), -2) == (-6, None)
+        assert interval_scale((None, None), 0) == (0, 0)
+
+    def test_union(self):
+        assert interval_union((0, 1), (5, 9)) == (0, 9)
+        assert interval_union((None, 1), (0, 2)) == (None, 2)
+
+    def test_overlap(self):
+        assert intervals_overlap((0, 5), (5, 9))
+        assert not intervals_overlap((0, 4), (5, 9))
+        assert intervals_overlap((None, None), (5, 9))
+
+
+class TestRangeEnv:
+    def test_range_of_affine(self):
+        env = RangeEnv({"i": (0, 9), "N": (16, 16)})
+        assert env.range_of(sym("i") * 2 + sym("N")) == (16, 34)
+        assert env.range_of(sym("N") - sym("i")) == (7, 16)
+
+    def test_unknown_symbol_is_unbounded(self):
+        env = RangeEnv({})
+        assert env.range_of(sym("q")) == (None, None)
+
+    def test_child_chaining(self):
+        parent = RangeEnv({"i": (0, 9)})
+        child = parent.child(j=(1, 3))
+        assert child.lookup("i") == (0, 9)
+        assert child.lookup("j") == (1, 3)
+        assert parent.lookup("j") == (None, None)
+
+    def test_loop_range_and_trips(self):
+        env = RangeEnv({"N": (16, 16)})
+        assert env.loop_range(Affine.of(0), sym("N") - 1, 1) == (0, 15)
+        assert env.max_trip_count(Affine.of(0), sym("N") - 1, 1) == 16
+        assert env.max_trip_count(Affine.of(0), sym("N") - 1, 2) == 8
+        assert env.max_trip_count(Affine.of(5), Affine.of(4), 1) == 0
+
+    def test_negative_step(self):
+        env = RangeEnv({})
+        assert env.loop_range(Affine.of(9), Affine.of(0), -1) == (0, 9)
+        assert env.max_trip_count(Affine.of(9), Affine.of(0), -1) == 10
+
+
+class TestDimSection:
+    def test_overlap_basic(self):
+        assert DimSection(0, 9).overlaps(DimSection(5, 15))
+        assert not DimSection(0, 4).overlaps(DimSection(5, 15))
+
+    def test_overlap_strided(self):
+        evens = DimSection(0, 100, 2)
+        odds = DimSection(1, 101, 2)
+        assert not evens.overlaps(odds)
+        assert evens.overlaps(DimSection(0, 100, 2))
+        assert evens.overlaps(DimSection(3, 9, 3))  # 6 is shared
+
+    def test_union_compatible_strides(self):
+        u = DimSection(0, 8, 2).union(DimSection(10, 20, 2))
+        assert (u.lo, u.hi, u.stride) == (0, 20, 2)
+
+    def test_union_incompatible_offsets_densifies(self):
+        u = DimSection(0, 8, 2).union(DimSection(1, 9, 2))
+        assert u.stride == 1
+
+    def test_contains(self):
+        assert DimSection(0, 100).contains(DimSection(5, 50, 3))
+        assert not DimSection(0, 10).contains(DimSection(5, 50))
+        assert DimSection(0, 100, 2).contains(DimSection(0, 50, 4))
+        assert not DimSection(0, 100, 2).contains(DimSection(1, 51, 4))
+
+    @given(st.integers(0, 30), st.integers(0, 30), st.integers(1, 5),
+           st.integers(0, 30), st.integers(0, 30), st.integers(1, 5))
+    def test_overlap_never_misses_real_intersection(self, lo1, len1, s1, lo2, len2, s2):
+        a = DimSection(lo1, lo1 + len1, s1)
+        b = DimSection(lo2, lo2 + len2, s2)
+        pts_a = set(range(a.lo, a.hi + 1, a.stride))
+        pts_b = set(range(b.lo, b.hi + 1, b.stride))
+        if pts_a & pts_b:
+            assert a.overlaps(b)  # conservative test must say yes
+
+    @given(st.integers(0, 20), st.integers(0, 10), st.integers(1, 4),
+           st.integers(0, 20), st.integers(0, 10), st.integers(1, 4))
+    def test_union_is_superset(self, lo1, len1, s1, lo2, len2, s2):
+        a = DimSection(lo1, lo1 + len1, s1)
+        b = DimSection(lo2, lo2 + len2, s2)
+        u = a.union(b)
+        pts = set(range(u.lo, u.hi + 1, u.stride))
+        for d in (a, b):
+            assert set(range(d.lo, d.hi + 1, d.stride)) <= pts
+
+
+class TestRegularSection:
+    def test_section_of_clamps_to_extent(self):
+        arr = Array("A", (10, 10))
+        env = RangeEnv({"i": (0, 9)})
+        ref = ArrayRef("A", (sym("i") + 5, Affine.of(3)), 0)
+        section = section_of(ref, arr, env)
+        assert section.dims[0].lo == 5 and section.dims[0].hi == 9
+        assert section.dims[1].lo == 3 and section.dims[1].hi == 3
+
+    def test_section_of_unbounded_covers_dimension(self):
+        arr = Array("A", (10,))
+        env = RangeEnv({})
+        section = section_of(ArrayRef("A", (sym("weird"),), 0), arr, env)
+        assert (section.dims[0].lo, section.dims[0].hi) == (0, 9)
+
+    def test_section_stride_from_single_varying_symbol(self):
+        arr = Array("A", (100,))
+        env = RangeEnv({"i": (0, 9), "N": (4, 4)})
+        section = section_of(ArrayRef("A", (sym("i") * 4 + sym("N"),), 0), arr, env)
+        assert section.dims[0].stride == 4
+
+    def test_section_coupled_symbols_dense(self):
+        arr = Array("A", (100,))
+        env = RangeEnv({"i": (0, 4), "j": (0, 4)})
+        section = section_of(ArrayRef("A", (sym("i") * 5 + sym("j"),), 0), arr, env)
+        assert section.dims[0].stride == 1
+
+    def test_overlap_requires_same_array(self):
+        a = RegularSection("A", (DimSection(0, 5),))
+        b = RegularSection("B", (DimSection(0, 5),))
+        assert not a.overlaps(b)
+
+    def test_whole_array(self):
+        s = whole_array_section(Array("A", (4, 8)))
+        assert s.dims[0].hi == 3 and s.dims[1].hi == 7
+
+
+class TestSectionList:
+    def test_dedup_contained(self):
+        sl = SectionList("A", cap=4)
+        sl.add(RegularSection("A", (DimSection(0, 100),)))
+        sl.add(RegularSection("A", (DimSection(5, 10),)))
+        assert len(sl.sections) == 1
+
+    def test_cap_merges(self):
+        sl = SectionList("A", cap=2)
+        for lo in (0, 20, 40, 60):
+            sl.add(RegularSection("A", (DimSection(lo, lo + 5),)))
+        assert len(sl.sections) == 2
+        assert sl.overlaps(RegularSection("A", (DimSection(60, 65),)))
+
+    def test_overlap_queries(self):
+        sl = SectionList("A")
+        sl.add(RegularSection("A", (DimSection(0, 10),)))
+        assert sl.overlaps(RegularSection("A", (DimSection(10, 20),)))
+        assert not sl.overlaps(RegularSection("A", (DimSection(11, 20),)))
+
+    def test_union_all(self):
+        sl = SectionList("A")
+        assert sl.union_all() is None
+        sl.add(RegularSection("A", (DimSection(0, 5),)))
+        sl.add(RegularSection("A", (DimSection(20, 30),)))
+        u = sl.union_all()
+        assert u.dims[0].lo == 0 and u.dims[0].hi == 30

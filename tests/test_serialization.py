@@ -1,0 +1,56 @@
+"""JSON round-trips for experiment results and SimResult snapshots."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.common.config import default_machine
+from repro.experiments import run_experiment
+from repro.experiments.common import ExperimentResult
+from repro.sim import prepare, simulate
+from repro.workloads import build_workload
+
+
+class TestExperimentResultJson:
+    def test_round_trip(self, tmp_path):
+        result = run_experiment("fig5_storage")
+        path = tmp_path / "fig5.json"
+        result.save(str(path))
+        loaded = ExperimentResult.load(str(path))
+        assert loaded.experiment == result.experiment
+        assert loaded.headers == result.headers
+        assert loaded.rows == result.rows
+        assert loaded.notes == result.notes
+        assert loaded.render() == result.render()
+
+    def test_simulated_experiment_round_trip(self, tmp_path):
+        result = run_experiment("tab_marking", size="small")
+        path = tmp_path / "marking.json"
+        result.save(str(path))
+        loaded = ExperimentResult.load(str(path))
+        assert loaded.rows == result.rows
+
+
+class TestSimResultDict:
+    def test_snapshot_is_json_serializable(self):
+        machine = default_machine().with_(n_procs=4)
+        run = prepare(build_workload("ocean", size="small"), machine)
+        result = simulate(run, "tpi")
+        snapshot = result.to_dict()
+        text = json.dumps(snapshot)  # must not raise
+        parsed = json.loads(text)
+        assert parsed["scheme"] == "tpi"
+        assert parsed["miss_rate"] == pytest.approx(result.miss_rate)
+        assert sum(parsed["breakdown"].values()) == (
+            result.n_procs * result.exec_cycles)
+        assert parsed["miss_counts"].get("cold", 0) >= 0
+
+
+class TestCliJson:
+    def test_experiment_json_flag(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["experiment", "fig5_storage", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["experiment"] == "fig5_storage"
+        assert len(data["rows"]) == 3

@@ -1,0 +1,121 @@
+"""Tests for the GSA-lite scalar analysis."""
+
+from repro.compiler.ranges import RangeEnv
+from repro.compiler.ssa import ScalarEnv
+from repro.ir.expr import Affine, sym
+from repro.ir.program import ScalarAssign
+
+
+def assign(env, ranges, name, expr):
+    env.assign(ScalarAssign(name, Affine.of(expr)), ranges)
+
+
+class TestStraightLine:
+    def test_copy_propagation(self):
+        env, ranges = ScalarEnv(), RangeEnv({"N": (8, 8)})
+        assign(env, ranges, "a", sym("N") * 2)
+        assign(env, ranges, "b", sym("a") + 1)
+        resolved = env.resolve(sym("b"))
+        assert resolved == sym("N") * 2 + 1
+        assert ranges.lookup("b") == (17, 17)
+
+    def test_reassignment_overwrites(self):
+        env, ranges = ScalarEnv(), RangeEnv({})
+        assign(env, ranges, "a", 1)
+        assign(env, ranges, "a", 5)
+        assert env.resolve(sym("a")).const == 5
+
+    def test_self_reference_with_known_value_stays_exact(self):
+        # Straight-line a := a + 1 with a exactly known is just a + 1.
+        env, ranges = ScalarEnv(), RangeEnv({})
+        assign(env, ranges, "a", 3)
+        assign(env, ranges, "a", sym("a") + 1)
+        assert "a" not in env.weak
+        assert env.resolve(sym("a")).const == 4
+        assert ranges.lookup("a") == (4, 4)
+
+    def test_self_reference_of_weak_value_stays_weak(self):
+        env, ranges = ScalarEnv(), RangeEnv({})
+        assign(env, ranges, "a", 0)
+        env.weaken_loop_body((ScalarAssign("a", sym("a") + 1),),
+                             trip_bound=4, ranges=ranges)
+        assign(env, ranges, "a", sym("a") + 2)  # a still unknown exactly
+        assert "a" in env.weak
+        assert ranges.lookup("a") == (2, 5)  # (0..3) + 2
+
+    def test_resolve_leaves_weak_symbolic(self):
+        env, ranges = ScalarEnv(), RangeEnv({})
+        assign(env, ranges, "a", 0)
+        env.weaken_loop_body((ScalarAssign("a", sym("a") + 1),),
+                             trip_bound=4, ranges=ranges)
+        assert env.resolve(sym("a") + 2).symbols == {"a"}
+
+
+class TestLoopWeakening:
+    def test_induction_gets_tight_interval(self):
+        env, ranges = ScalarEnv(), RangeEnv({})
+        assign(env, ranges, "s", 10)
+        body = (ScalarAssign("s", sym("s") + 3),)
+        env.weaken_loop_body(body, trip_bound=5, ranges=ranges)
+        assert "s" in env.weak
+        assert ranges.lookup("s") == (10, 10 + 3 * 4)
+
+    def test_negative_increment(self):
+        env, ranges = ScalarEnv(), RangeEnv({})
+        assign(env, ranges, "s", 10)
+        body = (ScalarAssign("s", sym("s") - 2),)
+        env.weaken_loop_body(body, trip_bound=4, ranges=ranges)
+        assert ranges.lookup("s") == (10 - 6, 10)
+
+    def test_non_induction_unbounded(self):
+        env, ranges = ScalarEnv(), RangeEnv({"i": (0, 7)})
+        assign(env, ranges, "s", 0)
+        body = (ScalarAssign("s", sym("s") + sym("i")),)  # non-constant step
+        env.weaken_loop_body(body, trip_bound=8, ranges=ranges)
+        assert ranges.lookup("s") == (None, None)
+
+    def test_unknown_trip_count_unbounded(self):
+        env, ranges = ScalarEnv(), RangeEnv({})
+        assign(env, ranges, "s", 0)
+        body = (ScalarAssign("s", sym("s") + 1),)
+        env.weaken_loop_body(body, trip_bound=None, ranges=ranges)
+        assert ranges.lookup("s") == (None, None)
+
+    def test_multiple_increments_sum(self):
+        env, ranges = ScalarEnv(), RangeEnv({})
+        assign(env, ranges, "s", 0)
+        body = (ScalarAssign("s", sym("s") + 1), ScalarAssign("s", sym("s") + 2))
+        env.weaken_loop_body(body, trip_bound=3, ranges=ranges)
+        assert ranges.lookup("s") == (0, 6)
+
+
+class TestBranchMerge:
+    def test_equal_branches_stay_exact(self):
+        base, ranges = ScalarEnv(), RangeEnv({})
+        t_ranges, e_ranges = ranges.child(), ranges.child()
+        t_env, e_env = base.copy(), base.copy()
+        t_env.assign(ScalarAssign("x", Affine.of(4)), t_ranges)
+        e_env.assign(ScalarAssign("x", Affine.of(4)), e_ranges)
+        base.merge_branches(t_env, e_env, t_ranges, e_ranges, ranges)
+        assert base.resolve(sym("x")).const == 4
+        assert "x" not in base.weak
+
+    def test_diverging_branches_weaken_to_union(self):
+        base, ranges = ScalarEnv(), RangeEnv({})
+        t_ranges, e_ranges = ranges.child(), ranges.child()
+        t_env, e_env = base.copy(), base.copy()
+        t_env.assign(ScalarAssign("x", Affine.of(1)), t_ranges)
+        e_env.assign(ScalarAssign("x", Affine.of(9)), e_ranges)
+        base.merge_branches(t_env, e_env, t_ranges, e_ranges, ranges)
+        assert "x" in base.weak
+        assert ranges.lookup("x") == (1, 9)
+
+    def test_one_sided_assignment_weakens(self):
+        base, ranges = ScalarEnv(), RangeEnv({})
+        base.assign(ScalarAssign("x", Affine.of(2)), ranges)
+        t_ranges, e_ranges = ranges.child(), ranges.child()
+        t_env, e_env = base.copy(), base.copy()
+        t_env.assign(ScalarAssign("x", Affine.of(7)), t_ranges)
+        base.merge_branches(t_env, e_env, t_ranges, e_ranges, ranges)
+        assert "x" in base.weak
+        assert ranges.lookup("x") == (2, 7)

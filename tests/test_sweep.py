@@ -1,0 +1,79 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.common.config import default_machine
+from repro.ir import ProgramBuilder
+from repro.sim.sweep import (
+    Sweep,
+    axis_cache_lines,
+    axis_cache_sizes,
+    axis_procs,
+    axis_timetag_bits,
+    axis_write_buffer,
+)
+
+
+def tiny_program():
+    b = ProgramBuilder("tiny", params={"T": 2})
+    b.array("A", (32,))
+    with b.procedure("main"):
+        with b.serial("t", 0, b.p("T") - 1):
+            with b.doall("i", 0, 31) as i:
+                b.stmt(writes=[b.at("A", i)], work=1)
+            with b.doall("j", 0, 31) as j:
+                b.stmt(reads=[b.at("A", j)], work=1)
+    return b.build()
+
+
+BASE = default_machine().with_(n_procs=2, epoch_setup_cycles=5,
+                               task_dispatch_cycles=1)
+
+
+class TestSweep:
+    def test_grid_size(self):
+        sweep = Sweep(tiny_program(), schemes=("tpi",), base=BASE)
+        sweep.add_axis("line", axis_cache_lines([1, 4]))
+        sweep.add_axis("k", axis_timetag_bits([2, 8]))
+        points = sweep.run()
+        assert len(points) == 4
+        labels = {(p.labels["line"], p.labels["k"]) for p in points}
+        assert labels == {("4B", "k=2"), ("4B", "k=8"),
+                          ("16B", "k=2"), ("16B", "k=8")}
+
+    def test_multiple_schemes(self):
+        sweep = Sweep(tiny_program(), schemes=("tpi", "hw"), base=BASE)
+        sweep.add_axis("p", axis_procs([2, 4]))
+        points = sweep.run()
+        assert len(points) == 4
+        assert {p.scheme for p in points} == {"tpi", "hw"}
+
+    def test_axes_compose_transforms(self):
+        sweep = Sweep(tiny_program(), schemes=("tpi",), base=BASE)
+        sweep.add_axis("size", axis_cache_sizes([16]))
+        sweep.add_axis("line", axis_cache_lines([16]))
+        (point,) = sweep.run()
+        # Both transforms applied: 16 KB with 64-byte lines.
+        assert point.result.exec_cycles > 0
+
+    def test_line_size_monotone_on_dense_kernel(self):
+        sweep = Sweep(tiny_program(), schemes=("tpi",), base=BASE)
+        sweep.add_axis("line", axis_cache_lines([1, 4, 16]))
+        points = sweep.run()
+        rates = {p.labels["line"]: p.result.miss_rate for p in points}
+        assert rates["4B"] >= rates["16B"] >= rates["64B"]
+
+    def test_write_buffer_axis(self):
+        sweep = Sweep(tiny_program(), schemes=("tpi",), base=BASE)
+        sweep.add_axis("wb", axis_write_buffer())
+        points = sweep.run()
+        assert {p.labels["wb"] for p in points} == {"fifo", "coalescing"}
+
+    def test_empty_axis_rejected(self):
+        sweep = Sweep(tiny_program(), base=BASE)
+        with pytest.raises(ValueError):
+            sweep.add_axis("nothing", [])
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep(tiny_program(), base=BASE).run()
