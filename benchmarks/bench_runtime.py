@@ -1,0 +1,64 @@
+"""Runtime-engine benchmarks: serial vs parallel vs warm-cache sweeps.
+
+Times one 2-axis sweep (line size x timetag width, two schemes) three
+ways — ``jobs=1`` cold, ``jobs=N`` cold, and ``jobs=N`` against a warm
+artifact cache — so the executor's scaling and the cache's payoff are
+tracked in the bench trajectory alongside the paper figures.  Relative
+speed of the parallel run depends on the host's core count, so only the
+cache's *work elimination* (zero trace generations when warm) is asserted,
+not wall-clock ratios.
+"""
+
+import os
+
+from repro.common.config import default_machine
+from repro.runtime import ArtifactCache, Telemetry
+from repro.sim.sweep import Sweep, axis_cache_lines, axis_timetag_bits
+from repro.workloads import build_workload
+
+N_JOBS = min(4, os.cpu_count() or 1)
+BASE = default_machine().with_(n_procs=8)
+
+
+def _sweep(size):
+    sweep = Sweep(build_workload("ocean", size=size), schemes=("tpi", "hw"),
+                  base=BASE)
+    sweep.add_axis("line", axis_cache_lines([1, 4]))
+    sweep.add_axis("k", axis_timetag_bits([2, 8]))
+    return sweep
+
+
+def _size(bench_size):
+    return "small" if bench_size == "small" else "default"
+
+
+class TestRuntimeBench:
+    def test_sweep_serial_cold(self, benchmark, bench_size):
+        size = _size(bench_size)
+        points = benchmark.pedantic(lambda: _sweep(size).run(jobs=1),
+                                    iterations=1, rounds=3)
+        assert len(points) == 8
+
+    def test_sweep_parallel_cold(self, benchmark, bench_size):
+        size = _size(bench_size)
+        points = benchmark.pedantic(lambda: _sweep(size).run(jobs=N_JOBS),
+                                    iterations=1, rounds=3)
+        assert len(points) == 8
+
+    def test_sweep_parallel_warm_cache(self, benchmark, bench_size,
+                                       runtime_cache_dir):
+        size = _size(bench_size)
+        cache = ArtifactCache(runtime_cache_dir)
+        _sweep(size).run(jobs=N_JOBS, cache=cache)  # prime
+
+        def warm():
+            telemetry = Telemetry()
+            points = _sweep(size).run(jobs=N_JOBS, cache=cache,
+                                      telemetry=telemetry)
+            return points, telemetry
+
+        (points, telemetry) = benchmark.pedantic(warm, iterations=1, rounds=3)
+        assert len(points) == 8
+        # The whole point of the cache: a warm run re-runs no front end.
+        assert telemetry.traces_generated == 0
+        assert telemetry.result_hits == 8

@@ -23,6 +23,19 @@ def bench_size(request):
     return request.config.getoption("--bench-size")
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_cache_dir(tmp_path_factory, monkeypatch):
+    """Keep the runtime artifact cache out of ~/.cache during benchmarks."""
+    monkeypatch.setenv("REPRO_CACHE_DIR",
+                       str(tmp_path_factory.getbasetemp() / "repro-cache"))
+
+
+@pytest.fixture
+def runtime_cache_dir(tmp_path):
+    """A fresh artifact-cache root for runtime benchmarks."""
+    return tmp_path / "cache"
+
+
 def run_once(benchmark, experiment, size):
     """Run an experiment exactly once under pytest-benchmark timing."""
     from repro.experiments import run_experiment

@@ -33,6 +33,13 @@ from repro.common.stats import MissKind, TrafficClass
 from repro.compiler import InterprocMode, Marking, MarkingOptions, RefMark, mark_program
 from repro.experiments import experiment_ids, run_all, run_experiment
 from repro.ir import ProgramBuilder
+from repro.runtime import (
+    ArtifactCache,
+    Job,
+    ParallelExecutor,
+    Telemetry,
+    execute_jobs,
+)
 from repro.sim import PreparedRun, SimResult, prepare, simulate, simulate_all
 from repro.trace import MigrationSpec, generate_trace
 from repro.workloads import build_workload, workload_names
@@ -40,26 +47,31 @@ from repro.workloads import build_workload, workload_names
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
     "CacheConfig",
     "DirectoryConfig",
     "InterprocMode",
+    "Job",
     "MachineConfig",
     "Marking",
     "MarkingOptions",
     "MigrationSpec",
     "MissKind",
     "NetworkConfig",
+    "ParallelExecutor",
     "PreparedRun",
     "ProgramBuilder",
     "RefMark",
     "ReproError",
     "SchedulePolicy",
     "SimResult",
+    "Telemetry",
     "TpiConfig",
     "TrafficClass",
     "WriteBufferKind",
     "build_workload",
     "default_machine",
+    "execute_jobs",
     "experiment_ids",
     "generate_trace",
     "mark_program",

@@ -12,6 +12,16 @@ Commands
     Regenerate a paper table/figure.
 ``sweep <workload> --axis name=v1,v2,... [--scheme ...]``
     Grid study over machine parameters (axes: line, size, k, procs, wbuf).
+``cache stats|clear``
+    Inspect or empty the on-disk artifact cache.
+
+``simulate``, ``experiment``, and ``sweep`` all execute through the
+:mod:`repro.runtime` engine and share its flags: ``--jobs N`` fans
+simulations out over N worker processes (0 = all cores), ``--cache-dir``
+relocates the artifact cache (default ``~/.cache/repro`` or
+``$REPRO_CACHE_DIR``), ``--no-cache`` disables it, ``--report PATH``
+writes run telemetry (cache hits, per-job wall times, worker utilization)
+as JSON, and ``--json PATH`` writes the results themselves as JSON.
 """
 
 from __future__ import annotations
@@ -25,8 +35,20 @@ from repro.common.config import default_machine
 from repro.compiler import mark_program
 from repro.experiments import experiment_ids, run_experiment
 from repro.ir.pprint import format_program
-from repro.sim import prepare, simulate
+from repro.sim import simulate_all
 from repro.workloads import build_workload, workload_names
+
+
+def _add_runtime_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (0 = all cores; default 1)")
+    sub.add_argument("--cache-dir", metavar="PATH",
+                     help="artifact cache location (default ~/.cache/repro "
+                          "or $REPRO_CACHE_DIR)")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="do not read or write the artifact cache")
+    sub.add_argument("--report", metavar="PATH",
+                     help="write run telemetry (cache hits, wall times) as JSON")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -49,6 +71,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="repeatable; default: base sc tpi hw")
     simp.add_argument("--procs", type=int, default=16)
     simp.add_argument("--size", default="default", choices=("small", "default"))
+    simp.add_argument("--json", metavar="PATH",
+                      help="also write the results as JSON")
+    _add_runtime_args(simp)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("experiment", choices=[*experiment_ids(), "all"])
@@ -57,6 +82,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also write the result table(s) as JSON")
     exp.add_argument("--chart", metavar="COLUMN",
                      help="also print an ASCII bar chart of one column")
+    _add_runtime_args(exp)
 
     swp = sub.add_parser("sweep", help="grid study over machine parameters")
     swp.add_argument("workload", choices=workload_names())
@@ -68,7 +94,29 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="repeatable; default: tpi hw")
     swp.add_argument("--size", default="small",
                      choices=("small", "default", "large"))
+    swp.add_argument("--json", metavar="PATH",
+                     help="also write the sweep points as JSON")
+    _add_runtime_args(swp)
+
+    cch = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    cch.add_argument("action", choices=("stats", "clear"))
+    cch.add_argument("--cache-dir", metavar="PATH",
+                     help="cache location (default ~/.cache/repro "
+                          "or $REPRO_CACHE_DIR)")
     return parser
+
+
+def _runtime_from_args(args):
+    """Resolve the shared runtime flags into (jobs, cache, telemetry)."""
+    from repro.runtime import ArtifactCache, Telemetry
+
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    return args.jobs, cache, Telemetry()
+
+
+def _finish_run(args, telemetry) -> None:
+    if args.report:
+        telemetry.report().save(args.report)
 
 
 def _cmd_list() -> int:
@@ -88,22 +136,33 @@ def _cmd_show(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from repro.runtime import write_json
+
     schemes = args.scheme or ["base", "sc", "tpi", "hw"]
     machine = default_machine().with_(n_procs=args.procs)
-    run = prepare(build_workload(args.workload, size=args.size), machine)
+    jobs, cache, telemetry = _runtime_from_args(args)
+    results = simulate_all(build_workload(args.workload, size=args.size),
+                           schemes, machine, jobs=jobs, cache=cache,
+                           telemetry=telemetry)
     for scheme in schemes:
-        print(simulate(run, scheme).summary())
+        print(results[scheme].summary())
         print()
+    if args.json:
+        write_json({scheme: result.to_dict()
+                    for scheme, result in results.items()}, args.json)
+    _finish_run(args, telemetry)
     return 0
 
 
 def _cmd_experiment(args) -> int:
-    import json as _json
+    from repro.runtime import write_json
 
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
+    jobs, cache, telemetry = _runtime_from_args(args)
     collected = []
     for experiment in targets:
-        result = run_experiment(experiment, size=args.size)
+        result = run_experiment(experiment, size=args.size, jobs=jobs,
+                                cache=cache, telemetry=telemetry)
         print(result.render())
         if args.chart:
             print()
@@ -111,13 +170,14 @@ def _cmd_experiment(args) -> int:
         print()
         collected.append(result.to_dict())
     if args.json:
-        with open(args.json, "w") as handle:
-            _json.dump(collected if len(collected) > 1 else collected[0],
-                       handle, indent=2)
+        write_json(collected if len(collected) > 1 else collected[0],
+                   args.json)
+    _finish_run(args, telemetry)
     return 0
 
 
 def _cmd_sweep(args) -> int:
+    from repro.runtime import write_json
     from repro.sim.sweep import (
         Sweep,
         axis_cache_lines,
@@ -142,7 +202,8 @@ def _cmd_sweep(args) -> int:
             raise SystemExit(f"unknown axis {name!r}; choose from {sorted(makers)}")
         values = [v for v in raw.split(",") if v]
         sweep.add_axis(name, makers[name](values))
-    points = sweep.run()
+    jobs, cache, telemetry = _runtime_from_args(args)
+    points = sweep.run(jobs=jobs, cache=cache, telemetry=telemetry)
     label_names = [name for name, _ in sweep._axes]
     header = "  ".join(f"{n:>8}" for n in label_names)
     print(f"{header}  {'scheme':>7}  {'cycles':>9}  {'miss %':>7}  {'misslat':>8}")
@@ -151,6 +212,23 @@ def _cmd_sweep(args) -> int:
         r = point.result
         print(f"{labels}  {point.scheme:>7}  {r.exec_cycles:>9}  "
               f"{100 * r.miss_rate:>7.2f}  {r.avg_miss_latency:>8.1f}")
+    if args.json:
+        write_json([{"labels": point.labels, "scheme": point.scheme,
+                     "result": point.result.to_dict()} for point in points],
+                   args.json)
+    _finish_run(args, telemetry)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.runtime import ArtifactCache
+
+    cache = ArtifactCache(args.cache_dir)
+    if args.action == "stats":
+        print(cache.stats().render())
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached artifact(s) from {cache.root}")
     return 0
 
 
@@ -162,6 +240,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": lambda: _cmd_simulate(args),
         "experiment": lambda: _cmd_experiment(args),
         "sweep": lambda: _cmd_sweep(args),
+        "cache": lambda: _cmd_cache(args),
     }
     return handlers[args.command]()
 

@@ -62,16 +62,41 @@ def experiment_ids() -> List[str]:
     return list(EXPERIMENTS)
 
 
+def _wants_runtime(jobs, cache, telemetry) -> bool:
+    return jobs != 1 or cache is not None or telemetry is not None
+
+
 def run_experiment(experiment: str, machine: Optional[MachineConfig] = None,
-                   size: str = "paper") -> ExperimentResult:
+                   size: str = "paper", *, jobs: Optional[int] = 1,
+                   cache=None, telemetry=None) -> ExperimentResult:
+    """Regenerate one paper table/figure.
+
+    ``jobs``/``cache``/``telemetry`` open a :func:`repro.runtime.session`
+    around the experiment: its simulations fan out over ``jobs`` worker
+    processes (``None``/``0`` = all cores) and reuse artifacts from the
+    given :class:`repro.runtime.ArtifactCache`.  The defaults keep the
+    original direct in-process path.
+    """
     if experiment not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment!r}; "
                        f"choose from {sorted(EXPERIMENTS)}")
+    if _wants_runtime(jobs, cache, telemetry):
+        from repro.runtime import session
+
+        with session(jobs=jobs, cache=cache, telemetry=telemetry):
+            return EXPERIMENTS[experiment](machine=machine, size=size)
     return EXPERIMENTS[experiment](machine=machine, size=size)
 
 
 def run_all(machine: Optional[MachineConfig] = None,
-            size: str = "paper") -> Dict[str, ExperimentResult]:
+            size: str = "paper", *, jobs: Optional[int] = 1,
+            cache=None, telemetry=None) -> Dict[str, ExperimentResult]:
+    if _wants_runtime(jobs, cache, telemetry):
+        from repro.runtime import session
+
+        with session(jobs=jobs, cache=cache, telemetry=telemetry):
+            return {name: run(machine=machine, size=size)
+                    for name, run in EXPERIMENTS.items()}
     return {name: run(machine=machine, size=size)
             for name, run in EXPERIMENTS.items()}
 

@@ -118,29 +118,68 @@ class ExperimentResult:
 
 
 class Bench:
-    """Prepares workloads once per (machine, size) and simulates on demand."""
+    """Prepares workloads once per (machine, size) and simulates on demand.
+
+    When a :func:`repro.runtime.session` is active, simulations route
+    through its executor: the first request for a scheme fetches it for
+    *every* workload in one batch (fanned out across worker processes when
+    the session is parallel), and the session's artifact cache makes
+    repeat invocations near-free.  Without a session, behavior is the
+    original direct in-process path.
+    """
 
     def __init__(self, machine: Optional[MachineConfig] = None,
                  size: str = "paper", workloads: Optional[Sequence[str]] = None):
         self.machine = machine or default_machine()
         self.size = "small" if size == "small" else "default"
         self.names = list(workloads) if workloads else workload_names()
+        self._programs: Dict[str, object] = {}
         self._prepared: Dict[Tuple[str, int], PreparedRun] = {}
         self._results: Dict[Tuple[str, str, int], SimResult] = {}
+        # Front ends built by a session executor, keyed by prepare
+        # fingerprint; handed back on later batches so one compile/trace
+        # feeds every scheme (the executor fills it in-process).
+        self._front_ends: Dict[str, PreparedRun] = {}
+
+    def _program(self, name: str):
+        if name not in self._programs:
+            self._programs[name] = build_workload(name, size=self.size)
+        return self._programs[name]
 
     def prepared(self, name: str,
                  machine: Optional[MachineConfig] = None) -> PreparedRun:
         machine = machine or self.machine
         key = (name, id(machine))
         if key not in self._prepared:
-            program = build_workload(name, size=self.size)
-            self._prepared[key] = prepare(program, machine)
+            self._prepared[key] = prepare(self._program(name), machine)
         return self._prepared[key]
 
     def result(self, name: str, scheme: str,
                machine: Optional[MachineConfig] = None) -> SimResult:
         machine = machine or self.machine
         key = (name, scheme, id(machine))
-        if key not in self._results:
+        if key in self._results:
+            return self._results[key]
+        from repro.runtime import current_session
+
+        session = current_session()
+        if session is None:
             self._results[key] = simulate(self.prepared(name, machine), scheme)
+        else:
+            self._fetch_batch(name, scheme, machine, session)
         return self._results[key]
+
+    def _fetch_batch(self, name: str, scheme: str, machine: MachineConfig,
+                     session) -> None:
+        """Fetch one scheme for every still-missing workload in one batch."""
+        from repro.runtime import Job
+
+        missing = [n for n in self.names
+                   if (n, scheme, id(machine)) not in self._results]
+        if name not in missing:
+            missing.append(name)
+        jobs = [Job(program=self._program(n), scheme=scheme, machine=machine)
+                for n in missing]
+        for n, result in zip(missing, session.run(jobs,
+                                                  prepared=self._front_ends)):
+            self._results[(n, scheme, id(machine))] = result

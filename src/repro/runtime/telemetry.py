@@ -1,0 +1,134 @@
+"""Run telemetry: cache counters, per-job wall times, worker utilization.
+
+A :class:`Telemetry` object rides along one executor run (or one runtime
+session spanning several runs) and accumulates counters; workers report
+their share back as plain dicts that the parent merges.  ``report()``
+snapshots everything into a :class:`RunReport`, renderable as a text table
+or JSON — the payload behind the CLI's ``--report PATH`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, IO, List, Optional, Union
+
+
+def write_json(payload: Any, path: Union[str, os.PathLike, IO[str]]) -> None:
+    """Shared JSON serializer for CLI outputs (``--json``, ``--report``)."""
+    if hasattr(path, "write"):
+        json.dump(payload, path, indent=2, sort_keys=False, default=str)
+        path.write("\n")
+        return
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False, default=str)
+        handle.write("\n")
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one job: where it ran, how long, and from which source."""
+
+    label: str
+    scheme: str
+    fingerprint: str
+    wall_s: float = 0.0
+    source: str = "computed"  # computed | cache | retried
+    worker: int = 0  # pid of the executing process (parent pid if serial)
+
+
+@dataclass
+class Telemetry:
+    """Mutable counters accumulated over one or more executor runs."""
+
+    prepare_hits: int = 0
+    prepare_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    traces_generated: int = 0
+    retries: int = 0
+    jobs_submitted: int = 0
+    wall_time_s: float = 0.0
+    n_workers: int = 1
+    records: List[JobRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------ recording
+
+    def merge_worker(self, stats: Dict[str, Any]) -> None:
+        """Fold one worker's counter dict into the parent's totals."""
+        self.prepare_hits += stats.get("prepare_hits", 0)
+        self.prepare_misses += stats.get("prepare_misses", 0)
+        self.traces_generated += stats.get("traces_generated", 0)
+        for record in stats.get("records", ()):
+            self.records.append(JobRecord(**record))
+
+    def note_job(self, record: JobRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------- derived
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.result_hits + self.result_misses
+        return self.result_hits / lookups if lookups else 0.0
+
+    def worker_utilization(self) -> Dict[int, float]:
+        """Per-worker-pid busy seconds (from job wall times)."""
+        busy: Dict[int, float] = {}
+        for record in self.records:
+            busy[record.worker] = busy.get(record.worker, 0.0) + record.wall_s
+        return busy
+
+    def report(self) -> "RunReport":
+        return RunReport(telemetry=self)
+
+
+@dataclass
+class RunReport:
+    """Snapshot of one run's telemetry, renderable as table or JSON."""
+
+    telemetry: Telemetry
+
+    def to_dict(self) -> Dict[str, Any]:
+        t = self.telemetry
+        return {
+            "jobs": t.jobs_submitted,
+            "workers": t.n_workers,
+            "wall_time_s": round(t.wall_time_s, 6),
+            "cache": {
+                "result_hits": t.result_hits,
+                "result_misses": t.result_misses,
+                "prepare_hits": t.prepare_hits,
+                "prepare_misses": t.prepare_misses,
+                "hit_rate": round(t.cache_hit_rate, 4),
+            },
+            "traces_generated": t.traces_generated,
+            "retries": t.retries,
+            "worker_busy_s": {str(pid): round(busy, 6)
+                              for pid, busy in sorted(t.worker_utilization().items())},
+            "per_job": [asdict(record) for record in t.records],
+        }
+
+    def render(self) -> str:
+        t = self.telemetry
+        lines = [
+            "== run report",
+            f"jobs {t.jobs_submitted}  workers {t.n_workers}  "
+            f"wall {t.wall_time_s:.2f}s  retries {t.retries}",
+            f"cache: result {t.result_hits} hit / {t.result_misses} miss"
+            f" ({100 * t.cache_hit_rate:.0f}%), "
+            f"prepare {t.prepare_hits} hit / {t.prepare_misses} miss, "
+            f"{t.traces_generated} trace(s) generated",
+        ]
+        if t.records:
+            width = max(len(r.label) for r in t.records)
+            lines.append(f"{'job'.ljust(width)}  {'source':>8}  {'wall':>8}  worker")
+            for record in t.records:
+                lines.append(f"{record.label.ljust(width)}  "
+                             f"{record.source:>8}  {record.wall_s:>7.3f}s  "
+                             f"{record.worker}")
+        return "\n".join(lines)
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        write_json(self.to_dict(), path)

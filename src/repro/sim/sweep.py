@@ -3,21 +3,26 @@
 A :class:`Sweep` takes a base machine and named *axes*, each a list of
 ``(label, transform)`` pairs where the transform maps a machine to a new
 machine.  ``run()`` produces one :class:`SweepPoint` per cell of the
-cartesian grid, with the compiler/trace front-end shared per distinct
-machine.  Axis helpers build the common cases::
+cartesian grid.  Execution goes through :mod:`repro.runtime`: cells are
+grouped by front-end fingerprint, so the compiler/trace front end runs
+once per *distinct machine configuration* (not once per cell — two cells
+whose transforms land on the same machine share it, as do all schemes of
+one cell).  ``run(jobs=N)`` fans the grid out across ``N`` worker
+processes, and ``run(cache=...)`` reuses artifacts across invocations;
+serial and parallel execution produce identical results.  Axis helpers
+build the common cases::
 
     from repro.sim.sweep import Sweep, axis_cache_lines, axis_timetag_bits
 
     sweep = Sweep(build_workload("ocean"), schemes=("tpi", "hw"))
     sweep.add_axis("line", axis_cache_lines([1, 4, 16]))
     sweep.add_axis("k", axis_timetag_bits([2, 4, 8]))
-    for point in sweep.run():
+    for point in sweep.run(jobs=4):
         print(point.labels, point.result.miss_rate)
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -30,7 +35,6 @@ from repro.common.config import (
 )
 from repro.ir.program import Program
 from repro.sim.metrics import SimResult
-from repro.sim.runner import prepare, simulate
 
 Transform = Callable[[MachineConfig], MachineConfig]
 Axis = List[Tuple[str, Transform]]
@@ -64,22 +68,26 @@ class Sweep:
         self._axes.append((name, axis))
         return self
 
-    def run(self) -> List[SweepPoint]:
+    def run(self, jobs: Optional[int] = 1, cache=None,
+            telemetry=None, timeout: Optional[float] = None) -> List[SweepPoint]:
+        """Simulate every grid cell; see the module docstring for knobs.
+
+        ``jobs`` is the worker-process count (``1`` = in-process serial,
+        ``None``/``0`` = all cores); ``cache`` an optional
+        :class:`repro.runtime.ArtifactCache`; ``telemetry`` an optional
+        :class:`repro.runtime.Telemetry` accumulating counters and per-job
+        wall times.  Point order is always grid order, schemes innermost.
+        """
         if not self._axes:
             raise ValueError("sweep has no axes; add at least one")
-        points: List[SweepPoint] = []
-        names = [name for name, _ in self._axes]
-        for combo in itertools.product(*(axis for _, axis in self._axes)):
-            machine = self.base
-            labels = {}
-            for name, (label, transform) in zip(names, combo):
-                machine = transform(machine)
-                labels[name] = label
-            run = prepare(self.program, machine, params=self.params)
-            for scheme in self.schemes:
-                points.append(SweepPoint(labels=dict(labels), scheme=scheme,
-                                         result=simulate(run, scheme)))
-        return points
+        from repro.runtime import ParallelExecutor, expand_sweep
+
+        job_list = expand_sweep(self)
+        executor = ParallelExecutor(jobs=jobs, cache=cache,
+                                    telemetry=telemetry, timeout=timeout)
+        results = executor.run(job_list)
+        return [SweepPoint(labels=job.tag, scheme=job.scheme, result=result)
+                for job, result in zip(job_list, results)]
 
 
 def axis_cache_lines(line_words: Iterable[int]) -> Axis:

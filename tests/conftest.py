@@ -1,0 +1,15 @@
+"""Suite-wide fixtures.
+
+The CLI enables the on-disk artifact cache by default; redirect it into a
+per-session temporary directory so tests never read from (or write into)
+the developer's real ``~/.cache/repro`` — a warm personal cache would let
+CLI tests pass without exercising the engine at all.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_cache_dir(tmp_path_factory, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR",
+                       str(tmp_path_factory.getbasetemp() / "repro-cache"))

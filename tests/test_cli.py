@@ -1,5 +1,7 @@
 """Tests for the CLI and the pretty-printer."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -99,3 +101,68 @@ class TestCliSweep:
                      "--scheme", "tpi", "--size", "small"]) == 0
         out = capsys.readouterr().out
         assert "fifo" in out and "coalescing" in out
+
+
+class TestCliRuntime:
+    def test_simulate_json_and_report(self, capsys, tmp_path):
+        json_path = tmp_path / "sim.json"
+        report_path = tmp_path / "report.json"
+        assert main(["simulate", "ocean", "--size", "small", "--procs", "4",
+                     "--scheme", "tpi", "--cache-dir", str(tmp_path / "c"),
+                     "--json", str(json_path),
+                     "--report", str(report_path)]) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["tpi"]["scheme"] == "tpi"
+        assert payload["tpi"]["exec_cycles"] > 0
+        report = json.loads(report_path.read_text())
+        assert report["cache"]["result_misses"] == 1
+
+    def test_sweep_json_matches_table(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        assert main(["sweep", "ocean", "--axis", "line=1,4",
+                     "--scheme", "tpi", "--size", "small", "--no-cache",
+                     "--json", str(json_path)]) == 0
+        points = json.loads(json_path.read_text())
+        assert len(points) == 2
+        assert {p["labels"]["line"] for p in points} == {"4B", "16B"}
+        assert all(p["result"]["scheme"] == "tpi" for p in points)
+
+    def test_warm_cache_reports_hits_and_no_traces(self, capsys, tmp_path):
+        args = ["sweep", "ocean", "--axis", "line=1,4", "--scheme", "tpi",
+                "--size", "small", "--jobs", "2",
+                "--cache-dir", str(tmp_path / "c")]
+        assert main([*args, "--report", str(tmp_path / "cold.json")]) == 0
+        assert main([*args, "--report", str(tmp_path / "warm.json")]) == 0
+        cold = json.loads((tmp_path / "cold.json").read_text())
+        warm = json.loads((tmp_path / "warm.json").read_text())
+        assert cold["traces_generated"] > 0
+        assert warm["traces_generated"] == 0
+        assert warm["cache"]["result_hits"] >= 1
+        capsys.readouterr()
+
+    def test_serial_and_parallel_cli_output_identical(self, capsys, tmp_path):
+        base = ["sweep", "trfd", "--axis", "k=2,8", "--scheme", "tpi",
+                "--size", "small", "--no-cache"]
+        assert main([*base, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*base, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_experiment_runtime_flags(self, capsys, tmp_path):
+        assert main(["experiment", "fig11_miss_rates", "--size", "small",
+                     "--cache-dir", str(tmp_path / "c"),
+                     "--report", str(tmp_path / "r.json")]) == 0
+        assert "fig11_miss_rates" in capsys.readouterr().out
+        assert json.loads((tmp_path / "r.json").read_text())[
+            "traces_generated"] > 0
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "c")
+        assert main(["simulate", "trfd", "--size", "small", "--procs", "4",
+                     "--scheme", "tpi", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "prepared" in out and "result" in out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out

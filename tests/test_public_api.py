@@ -24,7 +24,7 @@ class TestPublicSurface:
     @pytest.mark.parametrize("module", [
         "repro.common", "repro.ir", "repro.compiler", "repro.trace",
         "repro.memsys", "repro.coherence", "repro.sim", "repro.overhead",
-        "repro.workloads", "repro.experiments", "repro.cli",
+        "repro.workloads", "repro.experiments", "repro.cli", "repro.runtime",
     ])
     def test_subpackages_importable(self, module):
         mod = importlib.import_module(module)
