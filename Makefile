@@ -22,6 +22,17 @@ paper:
 props:
 	$(PYTHON) -m pytest tests/test_properties.py tests/test_properties_rich.py -q
 
+# Static checks: the coherence lint always runs; ruff/mypy run when
+# installed (pip install -e .[lint]) and are skipped otherwise.
+lint:
+	$(PYTHON) -m repro lint all --size small --self-test
+	@$(PYTHON) -c "import ruff" 2>/dev/null \
+		&& $(PYTHON) -m ruff check src/repro \
+		|| echo "ruff not installed; skipping (pip install -e .[lint])"
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy \
+		|| echo "mypy not installed; skipping (pip install -e .[lint])"
+
 clean:
 	rm -rf .pytest_cache .hypothesis build src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

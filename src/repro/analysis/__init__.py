@@ -1,0 +1,80 @@
+"""Static-analysis subsystem: diagnostics, staleness oracle, lint.
+
+Submodules are loaded lazily (PEP 562): :mod:`repro.ir.validate` imports
+:mod:`repro.analysis.diagnostics` while the :mod:`repro.ir` package is
+still initializing, so an eager import of the oracle (which needs the
+fully built compiler and IR) here would create a cycle.
+"""
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "Diagnostic": "repro.analysis.diagnostics",
+    "Report": "repro.analysis.diagnostics",
+    "Rule": "repro.analysis.diagnostics",
+    "RULES": "repro.analysis.diagnostics",
+    "Severity": "repro.analysis.diagnostics",
+    "EXIT_CLEAN": "repro.analysis.diagnostics",
+    "EXIT_FINDINGS": "repro.analysis.diagnostics",
+    "EXIT_USAGE": "repro.analysis.diagnostics",
+    "OracleAnalysis": "repro.analysis.oracle",
+    "SiteVerdict": "repro.analysis.oracle",
+    "analyze_staleness": "repro.analysis.oracle",
+    "site_table": "repro.analysis.oracle",
+    "diff_marking": "repro.analysis.lint",
+    "lint_program": "repro.analysis.lint",
+    "lint_workload": "repro.analysis.lint",
+    "ALL_MODES": "repro.analysis.lint",
+    "ALL_SCHEMES": "repro.analysis.lint",
+    "replay_stale_reads": "repro.analysis.sanitizer",
+    "unmarked_stale_sites": "repro.analysis.sanitizer",
+    "StaleRead": "repro.analysis.sanitizer",
+    "mutation_self_test": "repro.analysis.mutate",
+    "MutationResult": "repro.analysis.mutate",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis aid only
+    from repro.analysis.diagnostics import (  # noqa: F401
+        EXIT_CLEAN,
+        EXIT_FINDINGS,
+        EXIT_USAGE,
+        RULES,
+        Diagnostic,
+        Report,
+        Rule,
+        Severity,
+    )
+    from repro.analysis.lint import (  # noqa: F401
+        ALL_MODES,
+        ALL_SCHEMES,
+        diff_marking,
+        lint_program,
+        lint_workload,
+    )
+    from repro.analysis.mutate import MutationResult, mutation_self_test  # noqa: F401
+    from repro.analysis.oracle import (  # noqa: F401
+        OracleAnalysis,
+        SiteVerdict,
+        analyze_staleness,
+        site_table,
+    )
+    from repro.analysis.sanitizer import (  # noqa: F401
+        StaleRead,
+        replay_stale_reads,
+        unmarked_stale_sites,
+    )
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return __all__

@@ -1,0 +1,162 @@
+"""Mutation self-test: is the checker itself trustworthy?
+
+Seeds controlled defects into a correct production marking and asserts the
+lint diff reports each one with the right rule at the right site:
+
+* **drop-tpi-mark** — flip one Time-Read back to an ordinary read at a
+  site the oracle proves definitely stale → must raise ``TPI001``;
+* **drop-sc-mark** — the SC analogue → ``SC001``;
+* **drop-strict** — keep the Time-Read but clear its strict flag at a
+  site with a definite same-epoch writer → ``TPI003``;
+* **spurious-mark** — mark a provably fresh ordinary read, as a widened
+  section would → must raise the ``TPI002`` precision warning.
+
+Only definitely-stale (resp. provably-fresh) sites are seeded: dropping a
+mark the oracle cannot prove necessary is a legal precision improvement,
+not an under-marking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.lint import diff_marking
+from repro.analysis.oracle import OracleAnalysis, analyze_staleness
+from repro.compiler.marking import (
+    InterprocMode,
+    Marking,
+    MarkingOptions,
+    RefMark,
+    mark_program,
+)
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One seeded defect and whether the lint caught it."""
+
+    kind: str
+    site: int
+    expected_rule: str
+    caught: bool
+
+
+@dataclass
+class MutationResult:
+    """Outcome of the self-test over one program and mode."""
+
+    program_name: str
+    mode: str
+    mutations: List[Mutation] = field(default_factory=list)
+
+    def _of_kind(self, error_kinds: bool) -> List[Mutation]:
+        errors = {"drop-tpi-mark", "drop-sc-mark", "drop-strict"}
+        return [m for m in self.mutations
+                if (m.kind in errors) == error_kinds]
+
+    @property
+    def seeded_errors(self) -> int:
+        return len(self._of_kind(True))
+
+    @property
+    def caught_errors(self) -> int:
+        return sum(1 for m in self._of_kind(True) if m.caught)
+
+    @property
+    def missed(self) -> List[Mutation]:
+        return [m for m in self.mutations if not m.caught]
+
+    @property
+    def detection_rate(self) -> float:
+        seeded = self.seeded_errors
+        return self.caught_errors / seeded if seeded else 1.0
+
+    def summary(self) -> str:
+        warn = self._of_kind(False)
+        line = (f"mutation self-test {self.program_name} [{self.mode}]: "
+                f"{self.caught_errors}/{self.seeded_errors} seeded "
+                f"under-markings caught")
+        if warn:
+            caught = sum(1 for m in warn if m.caught)
+            line += f", {caught}/{len(warn)} spurious marks flagged"
+        return line
+
+
+def _mutant(marking: Marking, *, drop_tpi: Optional[int] = None,
+            drop_sc: Optional[int] = None, drop_strict: Optional[int] = None,
+            add_tpi: Optional[int] = None) -> Marking:
+    tpi = dict(marking.tpi)
+    sc = dict(marking.sc)
+    strict: Set[int] = set(marking.strict_sites)
+    if drop_tpi is not None:
+        tpi[drop_tpi] = RefMark.READ
+        strict.discard(drop_tpi)
+    if drop_sc is not None:
+        sc[drop_sc] = RefMark.READ
+    if drop_strict is not None:
+        strict.discard(drop_strict)
+    if add_tpi is not None:
+        tpi[add_tpi] = RefMark.TIME_READ
+    return Marking(tpi=tpi, sc=sc, graph=marking.graph, strict_sites=strict,
+                   epoch_writes=marking.epoch_writes, stats=marking.stats)
+
+
+def _caught(marking: Marking, oracle: OracleAnalysis, scheme: str,
+            mode: InterprocMode, rule: str, site: int) -> bool:
+    diffs = diff_marking(marking, oracle, scheme, mode.value)
+    return any(d.rule_id == rule and d.site == site for d in diffs)
+
+
+def mutation_self_test(program: Program,
+                       params: Optional[Dict[str, int]] = None,
+                       mode: InterprocMode = InterprocMode.INLINE,
+                       limit: Optional[int] = None) -> MutationResult:
+    """Seed defects into a fresh marking of ``program`` and lint each one.
+
+    ``limit`` caps the seeds per mutation kind (for quick smoke runs).
+    """
+    opts = MarkingOptions(interproc=mode)
+    marking = mark_program(program, params, opts)
+    oracle = analyze_staleness(program, params, opts)
+    result = MutationResult(program_name=program.name, mode=mode.value)
+
+    def seeds(predicate) -> List[int]:
+        sites = [site for site in sorted(oracle.verdicts)
+                 if predicate(oracle.verdicts[site])]
+        return sites[:limit] if limit is not None else sites
+
+    for site in seeds(lambda v: v.tpi_def):
+        if marking.tpi_mark(site) is not RefMark.TIME_READ:
+            continue  # would already be a TPI001 on the unmutated marking
+        mutant = _mutant(marking, drop_tpi=site)
+        result.mutations.append(Mutation(
+            "drop-tpi-mark", site, "TPI001",
+            _caught(mutant, oracle, "tpi", mode, "TPI001", site)))
+
+    for site in seeds(lambda v: v.sc_def):
+        if marking.sc_mark(site) is not RefMark.TIME_READ:
+            continue
+        mutant = _mutant(marking, drop_sc=site)
+        result.mutations.append(Mutation(
+            "drop-sc-mark", site, "SC001",
+            _caught(mutant, oracle, "sc", mode, "SC001", site)))
+
+    for site in seeds(lambda v: v.strict_def):
+        if not marking.is_strict(site):
+            continue
+        mutant = _mutant(marking, drop_strict=site)
+        result.mutations.append(Mutation(
+            "drop-strict", site, "TPI003",
+            _caught(mutant, oracle, "tpi", mode, "TPI003", site)))
+
+    for site in seeds(lambda v: v.visits and not v.tpi_may):
+        if marking.tpi_mark(site) is RefMark.TIME_READ:
+            continue
+        mutant = _mutant(marking, add_tpi=site)
+        result.mutations.append(Mutation(
+            "spurious-mark", site, "TPI002",
+            _caught(mutant, oracle, "tpi", mode, "TPI002", site)))
+
+    return result

@@ -1,0 +1,731 @@
+"""Independent staleness oracle: per-element value-set interpretation.
+
+This is a second, deliberately simple implementation of the paper's
+stale-reference semantics, used to *verify* the production marking pass
+(:mod:`repro.compiler.marking`).  Where the production pass reasons
+symbolically over regular sections, the oracle enumerates: outer opened
+loops, DOALL iterations, and inner serial loops are unrolled concretely
+(up to a cap), scalars are tracked as small sets of possible values, and
+array references become explicit sets of flat element indices.  Whenever
+enumeration is impossible (unbounded symbol, capped set, SUMMARY-widened
+callee) the affected set degrades to an *approximate* whole-array set and
+every conclusion drawn from it is downgraded from "definite" to "may".
+
+Per shared read site the oracle reports (:class:`SiteVerdict`):
+
+* ``tpi_may`` / ``tpi_def`` — the read may / definitely-under-the-shared-
+  may-execute-semantics terminates a stale reference sequence when marking
+  validation (writes and prior Time-Reads) is applied;
+* ``sc_may`` / ``sc_def`` — the same with SC validation (writes only; a
+  bypassing read does not validate);
+* ``strict_may`` / ``strict_def`` — a same-epoch concurrent writer is
+  possible, so a Time-Read here must be *strict*.
+
+"Definite" conclusions use exact element sets on both sides of a
+conflict.  Because every exact oracle set is a subset of the production
+pass's corresponding section, a definite oracle staleness that the
+production pass marked as an ordinary read is a genuine soundness
+disagreement — the basis for the ``TPI001``/``SC001`` lint errors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.compiler.epochs import EpochGraph, StaticEpoch, build_epoch_graph
+from repro.compiler.marking import InterprocMode, MarkingOptions
+from repro.ir.expr import Affine, Cond
+from repro.ir.program import (
+    Array,
+    ArrayRef,
+    Call,
+    CriticalSection,
+    If,
+    Loop,
+    Node,
+    Program,
+    ScalarAssign,
+    Sharing,
+    Statement,
+    walk,
+)
+
+SET_CAP = 2048
+"""Maximum size of a scalar value set before it widens to unknown."""
+
+ELEM_CAP = 8192
+"""Maximum size of an element-index set per reference visit."""
+
+LOOP_CAP = 1024
+"""Maximum trip count enumerated for a single loop."""
+
+COMBO_CAP = 1024
+"""Maximum concrete outer-loop-index combinations per epoch."""
+
+_MULTI = object()  # sentinel: an element written by >1 distinct iteration
+
+
+@dataclass(frozen=True)
+class Val:
+    """A set of possible integer values; ``values=None`` means unknown.
+
+    ``exact=False`` marks the set as a (possibly proper) over-approximation
+    of the dynamically possible values.
+    """
+
+    values: Optional[FrozenSet[int]]
+    exact: bool
+
+    @property
+    def singleton(self) -> Optional[int]:
+        if self.values is not None and len(self.values) == 1:
+            return next(iter(self.values))
+        return None
+
+
+TOP = Val(None, False)
+
+
+def _val_of(value: int) -> Val:
+    return Val(frozenset((value,)), True)
+
+
+def _val_from_interval(interval: Tuple[Optional[int], Optional[int]]) -> Val:
+    lo, hi = interval
+    if lo is None or hi is None or hi - lo + 1 > SET_CAP or hi < lo:
+        return TOP
+    return Val(frozenset(range(lo, hi + 1)), False)
+
+
+def eval_affine(expr: Affine, env: Dict[str, Val]) -> Val:
+    """Evaluate an affine expression over value sets."""
+    values: FrozenSet[int] = frozenset((expr.const,))
+    exact = True
+    for symbol, coeff in expr.terms:
+        val = env.get(symbol, TOP)
+        if val.values is None:
+            return TOP
+        combined = frozenset(a + coeff * b for a in values for b in val.values)
+        if len(combined) > SET_CAP:
+            return TOP
+        values = combined
+        exact = exact and val.exact
+    return Val(values, exact)
+
+
+def _eval_cond(cond: Cond, env: Dict[str, Val]) -> Optional[bool]:
+    """True/False when the comparison is decided for every possible value
+    pair; None when undecided (or too large to check)."""
+    lhs = eval_affine(cond.lhs, env)
+    rhs = eval_affine(cond.rhs, env)
+    if lhs.values is None or rhs.values is None:
+        return None
+    if len(lhs.values) * len(rhs.values) > SET_CAP:
+        return None
+    op = Cond._OPS[cond.op]
+    outcomes = {op(a, b) for a in lhs.values for b in rhs.values}
+    if len(outcomes) == 1:
+        return outcomes.pop()
+    return None
+
+
+def _merge_envs(base: Dict[str, Val], then_env: Dict[str, Val],
+                else_env: Dict[str, Val]) -> Dict[str, Val]:
+    merged: Dict[str, Val] = {}
+    for symbol in set(then_env) | set(else_env):
+        t = then_env.get(symbol, TOP)
+        e = else_env.get(symbol, TOP)
+        if t == e:
+            merged[symbol] = t
+        elif t.values is None or e.values is None:
+            merged[symbol] = TOP
+        else:
+            union = t.values | e.values
+            merged[symbol] = (Val(union, False) if len(union) <= SET_CAP
+                              else TOP)
+    del base
+    return merged
+
+
+@dataclass(frozen=True)
+class Elems:
+    """A set of flat (row-major) element indices of one array.
+
+    ``indices=None`` means "any element" (the whole array, approximately).
+    """
+
+    indices: Optional[FrozenSet[int]]
+    exact: bool
+
+    @property
+    def single(self) -> Optional[int]:
+        if (self.exact and self.indices is not None
+                and len(self.indices) == 1):
+            return next(iter(self.indices))
+        return None
+
+
+ELEMS_TOP = Elems(None, False)
+
+
+def elements_of(array: Array, sub_vals: List[Val]) -> Elems:
+    """Flatten per-dimension value sets into element indices.
+
+    Out-of-range subscript values are dropped (and mark the set
+    approximate — the production pass clamps instead of dropping).
+    """
+    dims: List[List[int]] = []
+    exact = True
+    for val, extent in zip(sub_vals, array.shape):
+        if val.values is None:
+            return ELEMS_TOP
+        in_range = [v for v in val.values if 0 <= v < extent]
+        if len(in_range) != len(val.values):
+            exact = False
+        dims.append(sorted(in_range))
+        exact = exact and val.exact
+    total = 1
+    for dim in dims:
+        total *= len(dim)
+        if total > ELEM_CAP:
+            return ELEMS_TOP
+    strides = []
+    acc = 1
+    for extent in reversed(array.shape):
+        strides.append(acc)
+        acc *= extent
+    strides.reverse()
+    flat = frozenset(sum(v * s for v, s in zip(combo, strides))
+                     for combo in itertools.product(*dims))
+    return Elems(flat, exact)
+
+
+class Footprint:
+    """Element-set write footprint of one array (exact + approximate)."""
+
+    __slots__ = ("exact", "approx", "approx_top")
+
+    def __init__(self) -> None:
+        self.exact: Set[int] = set()
+        self.approx: Set[int] = set()
+        self.approx_top = False
+
+    def add(self, elems: Elems) -> None:
+        if elems.indices is None:
+            self.approx_top = True
+        elif elems.exact:
+            self.exact |= elems.indices
+        else:
+            self.approx |= elems.indices
+
+    def merge(self, other: "Footprint") -> None:
+        self.exact |= other.exact
+        self.approx |= other.approx
+        self.approx_top = self.approx_top or other.approx_top
+
+    def overlap(self, elems: Elems) -> Tuple[bool, bool]:
+        """(may_overlap, definite_overlap) against a read's element set."""
+        if elems.indices is None:
+            may = bool(self.exact or self.approx or self.approx_top)
+            return may, False
+        definite = elems.exact and bool(elems.indices & self.exact)
+        may = (definite or self.approx_top
+               or bool(elems.indices & (self.exact | self.approx)))
+        return may, definite
+
+    def __bool__(self) -> bool:
+        return bool(self.exact or self.approx or self.approx_top)
+
+
+class IterWriters:
+    """Per-element writer iterations within one parallel-epoch instance."""
+
+    __slots__ = ("by_elem", "approx", "approx_top")
+
+    def __init__(self) -> None:
+        self.by_elem: Dict[int, object] = {}  # elem -> iteration | _MULTI
+        self.approx: Set[int] = set()
+        self.approx_top = False
+
+    def add(self, elems: Elems, iteration: Optional[int]) -> None:
+        if elems.indices is None:
+            self.approx_top = True
+            return
+        if elems.exact and iteration is not None:
+            for elem in elems.indices:
+                seen = self.by_elem.get(elem)
+                if seen is None:
+                    self.by_elem[elem] = iteration
+                elif seen is not _MULTI and seen != iteration:
+                    self.by_elem[elem] = _MULTI
+        else:
+            self.approx |= elems.indices
+
+    def conflict(self, elems: Elems, iteration: Optional[int],
+                 same_iter_is_race: bool) -> Tuple[bool, bool]:
+        """(may, definite) cross-iteration write conflict with a read."""
+        if elems.indices is None:
+            may = bool(self.by_elem or self.approx or self.approx_top)
+            return may, False
+        may = definite = False
+        for elem in elems.indices:
+            writer = self.by_elem.get(elem)
+            if writer is None:
+                continue
+            if (writer is _MULTI or same_iter_is_race or iteration is None
+                    or writer != iteration):
+                may = True
+            if elems.exact and (writer is _MULTI or same_iter_is_race
+                                or (iteration is not None
+                                    and writer != iteration)):
+                definite = True
+        if not may and (self.approx_top or elems.indices & self.approx):
+            may = True
+        return may, definite
+
+
+@dataclass
+class SiteVerdict:
+    """Oracle conclusions for one shared read site (OR over all visits)."""
+
+    site: int
+    array: str = ""
+    visits: int = 0
+    tpi_may: bool = False
+    tpi_def: bool = False
+    sc_may: bool = False
+    sc_def: bool = False
+    strict_may: bool = False
+    strict_def: bool = False
+    where: str = ""  # label of the first epoch a staleness was seen in
+
+    def record(self, tpi_may: bool, tpi_def: bool, sc_may: bool, sc_def: bool,
+               strict_may: bool, strict_def: bool, where: str) -> None:
+        self.visits += 1
+        if (tpi_may or sc_may) and not (self.tpi_may or self.sc_may):
+            self.where = where
+        self.tpi_may = self.tpi_may or tpi_may
+        self.tpi_def = self.tpi_def or tpi_def
+        self.sc_may = self.sc_may or sc_may
+        self.sc_def = self.sc_def or sc_def
+        self.strict_may = self.strict_may or strict_may
+        self.strict_def = self.strict_def or strict_def
+
+
+@dataclass(frozen=True)
+class SiteInfo:
+    """Source location of a reference site."""
+
+    site: int
+    procedure: str
+    text: str
+    is_read: bool
+
+
+def site_table(program: Program) -> Dict[int, SiteInfo]:
+    """Map every reference site id to its defining procedure and text."""
+    table: Dict[int, SiteInfo] = {}
+    for proc in program.procedures.values():
+        for node in walk(proc.body):
+            if not isinstance(node, Statement):
+                continue
+            for ref in node.reads:
+                table.setdefault(ref.site,
+                                 SiteInfo(ref.site, proc.name, str(ref), True))
+            for ref in node.writes:
+                table.setdefault(ref.site,
+                                 SiteInfo(ref.site, proc.name, str(ref), False))
+    return table
+
+
+@dataclass
+class OracleAnalysis:
+    """The oracle's output: one verdict per visited shared read site."""
+
+    program_name: str
+    opts: MarkingOptions
+    verdicts: Dict[int, SiteVerdict]
+    sites: Dict[int, SiteInfo]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def fully_enumerated(self) -> bool:
+        """Did every loop/scalar/element set stay below the caps?"""
+        return not any(self.stats.get(k) for k in
+                       ("capped_loops", "capped_combos", "capped_sets"))
+
+
+def _effectively_shared(array: Array, opts: MarkingOptions) -> bool:
+    return array.sharing is Sharing.SHARED or not opts.assume_no_migration
+
+
+def _iter_range(lo: Val, hi: Val, step: int) -> Optional[List[int]]:
+    """Concrete iteration values when both bounds are pinned and small."""
+    lo0, hi0 = lo.singleton, hi.singleton
+    if lo0 is None or hi0 is None:
+        return None
+    if step > 0:
+        values = list(range(lo0, hi0 + 1, step))
+    else:
+        values = list(range(lo0, hi0 - 1, step))
+    if len(values) > LOOP_CAP:
+        return None
+    return values
+
+
+def _assigned_scalars(body: Tuple[Node, ...]) -> Set[str]:
+    return {node.name for node in walk(body) if isinstance(node, ScalarAssign)}
+
+
+_Key = Tuple[str, int]  # (array name, flat element index)
+
+
+class _Walker:
+    """One pass over one epoch instance; phase is 'collect' or 'decide'."""
+
+    def __init__(self, analysis: "_Analyzer", epoch: StaticEpoch,
+                 env: Dict[str, Val], phase: str,
+                 writers: Optional[Dict[str, IterWriters]],
+                 sources: Optional[Dict[str, Footprint]] = None):
+        self.a = analysis
+        self.epoch = epoch
+        self.env = dict(env)
+        self.phase = phase
+        self.writers = writers
+        self.sources = sources or {}
+        self.in_critical = 0
+        self.inline_depth = 0
+        self.iteration: Optional[int] = None
+        self.valid_w: Set[_Key] = set()
+        self.valid_tr: Set[_Key] = set()
+
+    # -------------------------------------------------------------- driving
+
+    def run(self) -> None:
+        if self.epoch.parallel:
+            loop = self.epoch.doall
+            assert loop is not None
+            lo = eval_affine(loop.lo, self.env)
+            hi = eval_affine(loop.hi, self.env)
+            values = _iter_range(lo, hi, loop.step)
+            if values is None:
+                self.a.stats["capped_loops"] = (
+                    self.a.stats.get("capped_loops", 0) + 1)
+                self.env[loop.index] = self._approx_index(lo, hi)
+                self.iteration = None
+                self._body(loop.body)
+                return
+            entry_env = dict(self.env)
+            for value in values:
+                # Each DOALL iteration is an independent task: fresh scalar
+                # environment and fresh validated sets.
+                self.env = dict(entry_env)
+                self.env[loop.index] = _val_of(value)
+                self.iteration = value
+                self.valid_w.clear()
+                self.valid_tr.clear()
+                self._body(loop.body)
+        else:
+            self._body(self.epoch.nodes)
+
+    @staticmethod
+    def _approx_index(lo: Val, hi: Val) -> Val:
+        if lo.values is None or hi.values is None:
+            return TOP
+        return _val_from_interval((min(lo.values), max(hi.values)))
+
+    def _body(self, nodes: Tuple[Node, ...]) -> None:
+        for node in nodes:
+            self._node(node)
+
+    def _node(self, node: Node) -> None:
+        if isinstance(node, Statement):
+            for ref in node.reads:
+                self._ref(ref, is_write=False)
+            for ref in node.writes:
+                self._ref(ref, is_write=True)
+        elif isinstance(node, ScalarAssign):
+            self.env[node.name] = eval_affine(node.expr, self.env)
+        elif isinstance(node, Loop):
+            self._loop(node)
+        elif isinstance(node, If):
+            self._if(node)
+        elif isinstance(node, CriticalSection):
+            self.in_critical += 1
+            self.valid_w.clear()
+            self.valid_tr.clear()
+            self._body(node.body)
+            self.valid_w.clear()
+            self.valid_tr.clear()
+            self.in_critical -= 1
+        elif isinstance(node, Call):
+            boundary = self.a.opts.interproc is not InterprocMode.INLINE
+            if boundary:
+                self.valid_w.clear()
+                self.valid_tr.clear()
+            self.inline_depth += 1
+            self._body(self.a.program.procedures[node.callee].body)
+            self.inline_depth -= 1
+            if boundary:
+                self.valid_w.clear()
+                self.valid_tr.clear()
+
+    def _loop(self, loop: Loop) -> None:
+        lo = eval_affine(loop.lo, self.env)
+        hi = eval_affine(loop.hi, self.env)
+        values = _iter_range(lo, hi, loop.step)
+        if values is None:
+            self.a.stats["capped_loops"] = (
+                self.a.stats.get("capped_loops", 0) + 1)
+            # One approximate pass: pre-weaken every scalar the body can
+            # assign (a single pass would otherwise under-rotate inductions).
+            for name in _assigned_scalars(loop.body):
+                self.env[name] = TOP
+            self.env[loop.index] = self._approx_index(lo, hi)
+            self._body(loop.body)
+            return
+        for value in values:
+            self.env[loop.index] = _val_of(value)
+            self._body(loop.body)
+
+    def _if(self, node: If) -> None:
+        decided = _eval_cond(node.cond, self.env)
+        if decided is True:
+            self._body(node.then)
+            return
+        if decided is False:
+            self._body(node.els)
+            return
+        saved_env = dict(self.env)
+        saved_w, saved_tr = set(self.valid_w), set(self.valid_tr)
+        self._body(node.then)
+        then_env = self.env
+        then_w, then_tr = self.valid_w, self.valid_tr
+        self.env = dict(saved_env)
+        self.valid_w, self.valid_tr = set(saved_w), set(saved_tr)
+        self._body(node.els)
+        self.env = _merge_envs(saved_env, then_env, self.env)
+        self.valid_w = then_w & self.valid_w
+        self.valid_tr = then_tr & self.valid_tr
+
+    # ------------------------------------------------------------ reference
+
+    def _ref(self, ref: ArrayRef, is_write: bool) -> None:
+        array = self.a.program.arrays[ref.array]
+        opts = self.a.opts
+        if (opts.interproc is InterprocMode.SUMMARY and self.inline_depth > 0):
+            elems = ELEMS_TOP
+        else:
+            sub_vals = [eval_affine(sub, self.env) for sub in ref.subscripts]
+            elems = elements_of(array, sub_vals)
+            if elems.indices is None:
+                self.a.stats["capped_sets"] = (
+                    self.a.stats.get("capped_sets", 0) + 1)
+
+        if self.phase == "collect":
+            if is_write and _effectively_shared(array, opts):
+                self.a.foot(self.epoch.id, ref.array).add(elems)
+                if self.writers is not None:
+                    self.writers.setdefault(
+                        ref.array, IterWriters()).add(elems, self.iteration)
+            return
+
+        if is_write:
+            single = elems.single
+            if single is not None:
+                self.valid_w.add((ref.array, single))
+            return
+        if not _effectively_shared(array, opts):
+            return
+        self._decide_read(ref, elems)
+
+    def _decide_read(self, ref: ArrayRef, elems: Elems) -> None:
+        opts = self.a.opts
+        verdict = self.a.verdict(ref)
+        where = self.epoch.label or f"epoch {self.epoch.id}"
+
+        if self.in_critical:
+            may, definite = self.a.any_writes_overlap(ref.array, elems)
+            if may:
+                # Forced strict Time-Read under a lock; no validation.
+                verdict.record(may, definite, may, definite, may, definite,
+                               where)
+                return
+
+        if opts.interproc is InterprocMode.NONE:
+            stale_may, stale_def = self.a.any_writes_overlap(ref.array, elems)
+            strict_may, strict_def = stale_may, stale_def
+        else:
+            same_may = same_def = False
+            epoch_writers = (self.writers.get(ref.array)
+                             if self.writers is not None else None)
+            if self.epoch.parallel and epoch_writers is not None:
+                same_may, same_def = epoch_writers.conflict(
+                    elems, self.iteration,
+                    same_iter_is_race=not opts.assume_no_migration)
+            cross = self.sources.get(ref.array)
+            cross_may, cross_def = (cross.overlap(elems) if cross is not None
+                                    else (False, False))
+            stale_may = same_may or cross_may
+            stale_def = same_def or cross_def
+            strict_may, strict_def = same_may, same_def
+
+        tpi_may, tpi_def = stale_may, stale_def
+        sc_may, sc_def = stale_may, stale_def
+        key: Optional[_Key] = None
+        single = elems.single
+        if single is not None:
+            key = (ref.array, single)
+        if (stale_may and opts.intra_task_reuse and opts.assume_no_migration
+                and key is not None):
+            if key in self.valid_w or key in self.valid_tr:
+                tpi_may = tpi_def = False
+            if key in self.valid_w:
+                sc_may = sc_def = False
+        if key is not None and tpi_may:
+            # A (TPI) Time-Read validates the word it fetches.
+            self.valid_tr.add(key)
+        verdict.record(tpi_may, tpi_def, sc_may, sc_def,
+                       tpi_may and strict_may, tpi_def and strict_def, where)
+
+
+class _Analyzer:
+    """Drives collection and decision over every epoch instance."""
+
+    def __init__(self, program: Program, params: Optional[Dict[str, int]],
+                 opts: MarkingOptions, graph: Optional[EpochGraph]):
+        self.program = program
+        self.opts = opts
+        self.graph = graph or build_epoch_graph(program, params)
+        self.param_env = program.bind_params(params)
+        self.stats: Dict[str, int] = {}
+        self.foots: Dict[int, Dict[str, Footprint]] = {}
+        self.any_writes: Dict[str, Footprint] = {}
+        self.verdicts: Dict[int, SiteVerdict] = {}
+
+    # ------------------------------------------------------------- plumbing
+
+    def foot(self, epoch_id: int, array: str) -> Footprint:
+        return self.foots.setdefault(epoch_id, {}).setdefault(array,
+                                                              Footprint())
+
+    def verdict(self, ref: ArrayRef) -> SiteVerdict:
+        return self.verdicts.setdefault(
+            ref.site, SiteVerdict(site=ref.site, array=ref.array))
+
+    def any_writes_overlap(self, array: str, elems: Elems) -> Tuple[bool, bool]:
+        foot = self.any_writes.get(array)
+        if foot is None:
+            return False, False
+        return foot.overlap(elems)
+
+    # ------------------------------------------------- instance enumeration
+
+    def cases(self, epoch: StaticEpoch) -> List[Dict[str, Val]]:
+        """Entry environments, one per concrete outer-index combination."""
+        base: Dict[str, Val] = {name: _val_of(value)
+                                for name, value in self.param_env.items()}
+        pins: List[Dict[str, Val]] = [{}]
+        for ctx in epoch.outer:
+            expanded: List[Dict[str, Val]] = []
+            overflow = False
+            for pin in pins:
+                env = dict(base)
+                env.update(pin)
+                lo = eval_affine(ctx.lo, env)
+                hi = eval_affine(ctx.hi, env)
+                values = _iter_range(lo, hi, ctx.step)
+                if values is None:
+                    overflow = True
+                    break
+                for value in values:
+                    child = dict(pin)
+                    child[ctx.index] = _val_of(value)
+                    expanded.append(child)
+                if len(expanded) > COMBO_CAP:
+                    overflow = True
+                    break
+            if overflow:
+                # Give up on concrete combinations: approximate every outer
+                # index by its interval and analyze one blended instance.
+                self.stats["capped_combos"] = (
+                    self.stats.get("capped_combos", 0) + 1)
+                pins = [{}]
+                env = dict(base)
+                for outer_ctx in epoch.outer:
+                    lo = eval_affine(outer_ctx.lo, env)
+                    hi = eval_affine(outer_ctx.hi, env)
+                    approx = _Walker._approx_index(lo, hi)
+                    pins[0][outer_ctx.index] = approx
+                    env[outer_ctx.index] = approx
+                break
+            pins = expanded
+        envs: List[Dict[str, Val]] = []
+        for pin in pins:
+            env = dict(base)
+            # Weak scalars (and any other symbol the partitioner ranged)
+            # enter as approximate interval sets; pins override.
+            for symbol, interval in epoch.ranges.bindings.items():
+                if symbol not in env:
+                    env[symbol] = _val_from_interval(interval)
+            env.update(pin)
+            for name, affine in epoch.scalars.exact.items():
+                env[name] = eval_affine(affine, env)
+            envs.append(env)
+        return envs
+
+    # --------------------------------------------------------------- phases
+
+    def run(self) -> OracleAnalysis:
+        all_cases = {epoch.id: self.cases(epoch)
+                     for epoch in self.graph.epochs}
+        writers: Dict[Tuple[int, int], Dict[str, IterWriters]] = {}
+        for epoch in self.graph.epochs:
+            for case_index, env in enumerate(all_cases[epoch.id]):
+                per_case: Optional[Dict[str, IterWriters]] = (
+                    {} if epoch.parallel else None)
+                if per_case is not None:
+                    writers[(epoch.id, case_index)] = per_case
+                _Walker(self, epoch, env, "collect", per_case).run()
+                self.stats["instances"] = self.stats.get("instances", 0) + 1
+
+        for foots in self.foots.values():
+            for array, foot in foots.items():
+                self.any_writes.setdefault(array, Footprint()).merge(foot)
+
+        for epoch in self.graph.epochs:
+            sources = self._sources(epoch)
+            for case_index, env in enumerate(all_cases[epoch.id]):
+                _Walker(self, epoch, env, "decide",
+                        writers.get((epoch.id, case_index)), sources).run()
+
+        self.stats["sites"] = len(self.verdicts)
+        self.stats["epochs"] = len(self.graph.epochs)
+        return OracleAnalysis(program_name=self.program.name, opts=self.opts,
+                              verdicts=self.verdicts,
+                              sites=site_table(self.program),
+                              stats=self.stats)
+
+    def _sources(self, epoch: StaticEpoch) -> Dict[str, Footprint]:
+        """Stale sources: footprints of epochs that may precede this one
+        with a possibly-different writing processor."""
+        merged: Dict[str, Footprint] = {}
+        for other in self.graph.epochs:
+            if self.graph.distance(other.id, epoch.id) is None:
+                continue
+            if not (other.parallel or epoch.parallel
+                    or not self.opts.assume_no_migration):
+                continue  # serial -> serial: both on the master processor
+            for array, foot in self.foots.get(other.id, {}).items():
+                merged.setdefault(array, Footprint()).merge(foot)
+        return merged
+
+
+def analyze_staleness(program: Program,
+                      params: Optional[Dict[str, int]] = None,
+                      opts: Optional[MarkingOptions] = None,
+                      graph: Optional[EpochGraph] = None) -> OracleAnalysis:
+    """Run the oracle over a program; see the module docstring."""
+    return _Analyzer(program, params, opts or MarkingOptions(), graph).run()

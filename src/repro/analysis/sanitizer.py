@@ -1,0 +1,105 @@
+"""Dynamic stale-read sanitizer: replay a trace against a marking.
+
+The static oracle (:mod:`repro.analysis.oracle`) reasons over may-execute
+paths; this module checks the other direction.  It replays one concrete
+generated trace (:class:`repro.trace.events.Trace`) keeping, per
+(processor, address), the epoch in which that processor's cached copy was
+last known fresh, and flags every read that *observably* terminates a
+stale reference sequence: another processor wrote the address in an epoch
+strictly between the copy's epoch and the reading epoch.
+
+Copy-freshness follows the scheme being checked:
+
+* ``tpi`` — a Time-Read validates the word (fresh copy at the current
+  epoch); an ordinary read of a fresh word also leaves a fresh copy.
+* ``sc`` — a bypassing read does not allocate or validate, so the cached
+  copy's age is unchanged by marked reads.
+
+Writes in an epoch are committed at the epoch barrier, so same-epoch
+communication (e.g. through critical sections) is never counted — only
+definite cross-epoch staleness is, which a sound marking must cover.
+Every flagged read whose site the marking left ordinary is a confirmed
+soundness violation (rule ``SAN001``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.compiler.marking import Marking, RefMark
+from repro.trace.events import EventKind, Trace
+
+
+@dataclass(frozen=True)
+class StaleRead:
+    """One dynamically observed stale read."""
+
+    epoch: int
+    epoch_label: str
+    proc: int
+    addr: int
+    site: int
+    marked: bool  # was the site marked (Time-Read / bypass) for the scheme?
+
+
+def replay_stale_reads(trace: Trace, marking: Marking,
+                       scheme: str = "tpi") -> List[StaleRead]:
+    """All observably stale reads in a trace, flagged with whether the
+    checked scheme's map marked their site."""
+    if scheme == "tpi":
+        marks = marking.tpi
+        marked_read_validates = True
+    elif scheme == "sc":
+        marks = marking.sc
+        marked_read_validates = False
+    else:
+        raise ValueError(f"sanitizer checks 'tpi' or 'sc', not {scheme!r}")
+
+    copy_epoch: Dict[Tuple[int, int], int] = {}
+    last_write: Dict[int, Dict[int, int]] = {}  # addr -> proc -> epoch
+    findings: List[StaleRead] = []
+
+    for epoch in trace.epochs:
+        pending: List[Tuple[int, int]] = []  # (addr, proc) written this epoch
+        for task in epoch.tasks:
+            proc = task.proc
+            for event in task.events:
+                if not event.shared:
+                    continue
+                if event.kind is EventKind.WRITE:
+                    copy_epoch[(proc, event.addr)] = epoch.index
+                    pending.append((event.addr, proc))
+                    continue
+                if event.kind is not EventKind.READ:
+                    continue
+                held = copy_epoch.get((proc, event.addr))
+                stale = held is not None and any(
+                    writer != proc and written > held
+                    for writer, written in
+                    last_write.get(event.addr, {}).items())
+                marked = marks.get(event.site) is RefMark.TIME_READ
+                if stale:
+                    findings.append(StaleRead(
+                        epoch=epoch.index, epoch_label=epoch.label,
+                        proc=proc, addr=event.addr, site=event.site,
+                        marked=marked))
+                if marked and not marked_read_validates:
+                    continue  # SC bypass: cache copy untouched
+                if not stale or marked:
+                    copy_epoch[(proc, event.addr)] = epoch.index
+                # An unmarked stale read hits on the old copy: its age is
+                # unchanged (and the violation is already recorded).
+        for addr, proc in pending:
+            last_write.setdefault(addr, {})[proc] = epoch.index
+
+    return findings
+
+
+def unmarked_stale_sites(findings: List[StaleRead]) -> Dict[int, StaleRead]:
+    """First violation per site among reads the marking left ordinary."""
+    violations: Dict[int, StaleRead] = {}
+    for finding in findings:
+        if not finding.marked:
+            violations.setdefault(finding.site, finding)
+    return violations

@@ -12,6 +12,10 @@ Commands
     Regenerate a paper table/figure.
 ``sweep <workload> --axis name=v1,v2,... [--scheme ...]``
     Grid study over machine parameters (axes: line, size, k, procs, wbuf).
+``lint <workload> [--scheme tpi|sc] [--mode inline|summary|none]``
+    Verify the marking pass against the independent staleness oracle and
+    the dynamic sanitizer; see docs/ANALYSIS.md.  Exit codes: 0 clean,
+    1 findings (errors, or warnings with ``--strict``), 2 usage error.
 ``cache stats|clear``
     Inspect or empty the on-disk artifact cache.
 
@@ -32,6 +36,7 @@ from typing import List, Optional
 
 from repro.coherence import SCHEME_NAMES
 from repro.common.config import default_machine
+from repro.common.errors import ReproError
 from repro.compiler import mark_program
 from repro.experiments import experiment_ids, run_experiment
 from repro.ir.pprint import format_program
@@ -97,6 +102,30 @@ def _build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--json", metavar="PATH",
                      help="also write the sweep points as JSON")
     _add_runtime_args(swp)
+
+    lint = sub.add_parser("lint", help="verify marking against the oracle")
+    lint.add_argument("workload",
+                      help="workload name (see `repro list`) or 'all'")
+    lint.add_argument("--scheme", action="append", metavar="SCHEME",
+                      help="map to check: tpi, sc (repeatable; default both)")
+    lint.add_argument("--mode", action="append", metavar="MODE",
+                      help="interprocedural mode: inline, summary, none "
+                           "(repeatable; default all three)")
+    lint.add_argument("--size", default="small", choices=("small", "default"))
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 1 on warnings too, not just errors")
+    lint.add_argument("--no-sanitize", action="store_true",
+                      help="skip the dynamic trace-replay cross-check")
+    lint.add_argument("--self-test", action="store_true",
+                      help="also run the mutation self-test (seed marking "
+                           "defects; the lint must catch every one)")
+    lint.add_argument("--json", metavar="PATH",
+                      help="also write the report(s) as JSON")
+    lint.add_argument("--cache-dir", metavar="PATH",
+                      help="artifact cache location (default ~/.cache/repro "
+                           "or $REPRO_CACHE_DIR)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="do not read or write the artifact cache")
 
     cch = sub.add_parser("cache", help="inspect or clear the artifact cache")
     cch.add_argument("action", choices=("stats", "clear"))
@@ -220,6 +249,57 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_workload, mutation_self_test
+    from repro.analysis.diagnostics import EXIT_USAGE
+    from repro.analysis.lint import _normalize_modes, _normalize_schemes
+    from repro.runtime import ArtifactCache, write_json
+
+    known = workload_names()
+    names = list(known) if args.workload == "all" else [args.workload]
+    for name in names:
+        if name not in known:
+            print(f"error: unknown workload {name!r}; choose from "
+                  f"{' '.join(known)}", file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        modes = _normalize_modes(args.mode)
+        schemes = _normalize_schemes(args.scheme)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    payloads = []
+    code = 0
+    for name in names:
+        report = lint_workload(name, size=args.size, modes=modes,
+                               schemes=schemes,
+                               sanitize=not args.no_sanitize, cache=cache)
+        print(report.render())
+        code = max(code, report.exit_code(strict=args.strict))
+        payload = report.to_dict()
+        if args.self_test:
+            program = build_workload(name, size=args.size)
+            payload["self_test"] = {}
+            for mode in modes:
+                result = mutation_self_test(program, mode=mode)
+                print(result.summary())
+                for mutation in result.missed:
+                    print(f"  MISSED {mutation.kind} at site {mutation.site} "
+                          f"(expected {mutation.expected_rule})")
+                    code = max(code, 1)
+                payload["self_test"][mode.value] = {
+                    "seeded_errors": result.seeded_errors,
+                    "caught_errors": result.caught_errors,
+                    "missed": [m.site for m in result.missed],
+                }
+        payloads.append(payload)
+        print()
+    if args.json:
+        write_json(payloads if len(payloads) > 1 else payloads[0], args.json)
+    return code
+
+
 def _cmd_cache(args) -> int:
     from repro.runtime import ArtifactCache
 
@@ -240,9 +320,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": lambda: _cmd_simulate(args),
         "experiment": lambda: _cmd_experiment(args),
         "sweep": lambda: _cmd_sweep(args),
+        "lint": lambda: _cmd_lint(args),
         "cache": lambda: _cmd_cache(args),
     }
-    return handlers[args.command]()
+    try:
+        return handlers[args.command]()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

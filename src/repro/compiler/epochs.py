@@ -426,5 +426,7 @@ def build_epoch_graph(program: Program,
     env = program.bind_params(params)
     graph = _Partitioner(program, env).run()
     if graph.entry is None:  # pragma: no cover - run() guarantees an epoch
-        raise CompilationError("epoch graph has no entry")
+        raise CompilationError(
+            f"epoch graph of {program.name!r} has no entry (entry "
+            f"procedure {program.entry!r} produced no epochs)")
     return graph

@@ -283,7 +283,10 @@ class _WalkBase:
             if self.opts.interproc is not InterprocMode.INLINE:
                 self.at_call_boundary()
         else:  # pragma: no cover - closed union
-            raise CompilationError(f"unexpected node {type(node).__name__}")
+            raise CompilationError(
+                f"unexpected node {type(node).__name__} in epoch "
+                f"{self.epoch.label or self.epoch.id} (procedure "
+                f"{self.epoch.origin_proc!r})")
 
     def _loop(self, loop: Loop) -> None:
         lo = self.scalars.resolve(loop.lo)

@@ -12,12 +12,19 @@ Checks performed:
   epoch barrier);
 * loop indices do not shadow parameters or outer indices;
 * reference site ids are unique.
+
+Two entry points share one traversal: :func:`validate_program` raises a
+:class:`ValidationError` on the first problem (the historical behaviour
+the builder relies on), while :func:`program_diagnostics` collects *every*
+problem as :class:`repro.analysis.diagnostics.Diagnostic` values (rules
+``VAL001``–``VAL012``) for ``repro lint``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.diagnostics import Diagnostic
 from repro.common.errors import ValidationError
 from repro.ir.program import (
     ArrayRef,
@@ -35,119 +42,186 @@ from repro.ir.program import (
 
 def validate_program(program: Program) -> None:
     """Raise :class:`ValidationError` on the first structural problem found."""
-    if program.entry not in program.procedures:
-        raise ValidationError(f"entry procedure {program.entry!r} is not defined")
-    _check_call_graph(program)
-    seen_sites: Set[int] = set()
-    for proc in program.procedures.values():
-        scope = set(program.params)
-        _check_body(program, proc.body, scope, in_doall=False,
-                    in_critical=False, seen_sites=seen_sites, proc=proc.name)
+    diagnostics = program_diagnostics(program)
+    if diagnostics:
+        raise ValidationError(diagnostics[0].message)
 
 
-def _check_call_graph(program: Program) -> None:
-    color: Dict[str, int] = {}  # 0 visiting, 1 done
+def program_diagnostics(program: Program) -> List[Diagnostic]:
+    """Collect every structural problem (empty list == valid program)."""
+    return _Validator(program).run()
 
-    def visit(name: str, chain: Tuple[str, ...]) -> None:
-        if name not in program.procedures:
-            raise ValidationError(f"call to undefined procedure {name!r}")
-        state = color.get(name)
-        if state == 1:
+
+class _Validator:
+    def __init__(self, program: Program):
+        self.program = program
+        self.diagnostics: List[Diagnostic] = []
+        self.seen_sites: Set[int] = set()
+        self.undefined: Set[str] = set()
+        self._doall_memo: Dict[str, bool] = {}
+
+    def report(self, rule_id: str, message: str, *,
+               proc: Optional[str] = None,
+               site: Optional[int] = None) -> None:
+        self.diagnostics.append(Diagnostic(rule_id, message, procedure=proc,
+                                           site=site))
+
+    def run(self) -> List[Diagnostic]:
+        program = self.program
+        if program.entry not in program.procedures:
+            self.report("VAL001",
+                        f"entry procedure {program.entry!r} is not defined")
+        else:
+            self._check_call_graph()
+        for proc in program.procedures.values():
+            scope = set(program.params)
+            self._check_body(proc.body, scope, in_doall=False,
+                             in_critical=False, proc=proc.name)
+        return self.diagnostics
+
+    # ------------------------------------------------------------ call graph
+
+    def _check_call_graph(self) -> None:
+        color: Dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(name: str, chain: Tuple[str, ...]) -> None:
+            if name not in self.program.procedures:
+                caller = f" (called from {chain[-1]!r})" if chain else ""
+                if name not in self.undefined:
+                    self.undefined.add(name)
+                    self.report("VAL002",
+                                f"call to undefined procedure {name!r}"
+                                f"{caller}",
+                                proc=chain[-1] if chain else None)
+                return
+            state = color.get(name)
+            if state == 1:
+                return
+            if state == 0:
+                self.report("VAL003",
+                            "recursive call chain "
+                            f"{' -> '.join(chain + (name,))}", proc=name)
+                return
+            color[name] = 0
+            for node in walk(self.program.procedures[name].body):
+                if isinstance(node, Call):
+                    visit(node.callee, chain + (name,))
+            color[name] = 1
+
+        visit(self.program.entry, ())
+
+    def _contains_doall(self, name: str) -> bool:
+        memo = self._doall_memo
+        if name in memo:
+            return memo[name]
+        memo[name] = False
+        result = False
+        for node in walk(self.program.procedures[name].body):
+            if isinstance(node, Loop) and node.parallel:
+                result = True
+            elif (isinstance(node, Call)
+                    and node.callee in self.program.procedures
+                    and self._contains_doall(node.callee)):
+                result = True
+        memo[name] = result
+        return result
+
+    # ----------------------------------------------------------------- bodies
+
+    def _check_body(self, body: Tuple[Node, ...], scope: Set[str],
+                    in_doall: bool, in_critical: bool, proc: str) -> None:
+        local_scope = set(scope)
+        for node in body:
+            if isinstance(node, Statement):
+                for ref in (*node.reads, *node.writes):
+                    self._check_ref(ref, local_scope, proc)
+            elif isinstance(node, ScalarAssign):
+                self._check_symbols(node.expr.symbols, local_scope, proc,
+                                    what=f"scalar assignment to {node.name!r}")
+                local_scope.add(node.name)
+            elif isinstance(node, Loop):
+                if node.parallel and in_doall:
+                    self.report("VAL009",
+                                f"nested DOALL over {node.index!r} in "
+                                f"procedure {proc!r}", proc=proc)
+                if node.parallel and in_critical:
+                    self.report("VAL010",
+                                f"DOALL over {node.index!r} inside a critical "
+                                f"section in {proc!r} (a lock cannot span an "
+                                "epoch barrier)", proc=proc)
+                if node.index in local_scope:
+                    self.report("VAL011",
+                                f"loop index {node.index!r} shadows an "
+                                f"enclosing symbol in {proc!r}", proc=proc)
+                self._check_symbols(node.lo.symbols | node.hi.symbols,
+                                    local_scope, proc,
+                                    what=f"bounds of loop {node.index!r}")
+                inner = set(local_scope)
+                inner.add(node.index)
+                self._check_body(node.body, inner, in_doall or node.parallel,
+                                 in_critical, proc)
+            elif isinstance(node, If):
+                self._check_symbols(node.cond.symbols, local_scope, proc,
+                                    what="if condition")
+                self._check_body(node.then, set(local_scope), in_doall,
+                                 in_critical, proc)
+                self._check_body(node.els, set(local_scope), in_doall,
+                                 in_critical, proc)
+            elif isinstance(node, CriticalSection):
+                self._check_body(node.body, set(local_scope), in_doall,
+                                 True, proc)
+            elif isinstance(node, Call):
+                if node.callee not in self.program.procedures:
+                    if node.callee not in self.undefined:
+                        self.undefined.add(node.callee)
+                        self.report("VAL002",
+                                    f"call to undefined procedure "
+                                    f"{node.callee!r} (called from {proc!r})",
+                                    proc=proc)
+                elif ((in_doall or in_critical)
+                        and self._contains_doall(node.callee)):
+                    self.report("VAL009" if in_doall else "VAL010",
+                                f"call to {node.callee!r} inside a "
+                                f"{'DOALL' if in_doall else 'critical section'}"
+                                f" in {proc!r} would nest parallelism",
+                                proc=proc)
+            else:
+                self.report("VAL012",
+                            f"unknown node type {type(node).__name__} in "
+                            f"procedure {proc!r}", proc=proc)
+
+    def _check_ref(self, ref: ArrayRef, scope: Set[str], proc: str) -> None:
+        site = ref.site if ref.site >= 0 else None
+        if ref.array not in self.program.arrays:
+            self.report("VAL004",
+                        f"reference to undeclared array {ref.array!r} in "
+                        f"{proc!r} (site {ref.site})", proc=proc, site=site)
             return
-        if state == 0:
-            raise ValidationError(f"recursive call chain {' -> '.join(chain + (name,))}")
-        color[name] = 0
-        for node in walk(program.procedures[name].body):
-            if isinstance(node, Call):
-                visit(node.callee, chain + (name,))
-        color[name] = 1
+        array = self.program.arrays[ref.array]
+        if len(ref.subscripts) != array.rank:
+            self.report("VAL005",
+                        f"{ref} has {len(ref.subscripts)} subscripts; "
+                        f"{ref.array!r} has rank {array.rank} (procedure "
+                        f"{proc!r}, site {ref.site})", proc=proc, site=site)
+        if ref.site < 0:
+            self.report("VAL006",
+                        f"{ref} in {proc!r} was created outside a "
+                        "ProgramBuilder (site id missing)", proc=proc)
+        elif ref.site in self.seen_sites:
+            self.report("VAL007",
+                        f"site id {ref.site} reused in {proc!r} (refs must "
+                        "not be shared between statements)", proc=proc,
+                        site=site)
+        else:
+            self.seen_sites.add(ref.site)
+        for sub in ref.subscripts:
+            self._check_symbols(sub.symbols, scope, proc,
+                                what=f"{ref} (site {ref.site})", site=site)
 
-    visit(program.entry, ())
-
-
-def _contains_doall(program: Program, name: str, memo: Dict[str, bool]) -> bool:
-    if name in memo:
-        return memo[name]
-    memo[name] = False
-    result = False
-    for node in walk(program.procedures[name].body):
-        if isinstance(node, Loop) and node.parallel:
-            result = True
-        elif isinstance(node, Call) and _contains_doall(program, node.callee, memo):
-            result = True
-    memo[name] = result
-    return result
-
-
-def _check_body(program: Program, body: Tuple[Node, ...], scope: Set[str],
-                in_doall: bool, in_critical: bool, seen_sites: Set[int],
-                proc: str) -> None:
-    memo: Dict[str, bool] = {}
-    local_scope = set(scope)
-    for node in body:
-        if isinstance(node, Statement):
-            for ref in (*node.reads, *node.writes):
-                _check_ref(program, ref, local_scope, seen_sites, proc)
-        elif isinstance(node, ScalarAssign):
-            _check_symbols(node.expr.symbols, local_scope, proc,
-                           what=f"scalar assignment to {node.name!r}")
-            local_scope.add(node.name)
-        elif isinstance(node, Loop):
-            if node.parallel and in_doall:
-                raise ValidationError(
-                    f"nested DOALL over {node.index!r} in procedure {proc!r}")
-            if node.parallel and in_critical:
-                raise ValidationError(
-                    f"DOALL over {node.index!r} inside a critical section "
-                    f"in {proc!r} (a lock cannot span an epoch barrier)")
-            if node.index in local_scope:
-                raise ValidationError(
-                    f"loop index {node.index!r} shadows an enclosing symbol in {proc!r}")
-            _check_symbols(node.lo.symbols | node.hi.symbols, local_scope, proc,
-                           what=f"bounds of loop {node.index!r}")
-            inner = set(local_scope)
-            inner.add(node.index)
-            _check_body(program, node.body, inner,
-                        in_doall or node.parallel, in_critical, seen_sites, proc)
-        elif isinstance(node, If):
-            _check_symbols(node.cond.symbols, local_scope, proc, what="if condition")
-            _check_body(program, node.then, set(local_scope), in_doall,
-                        in_critical, seen_sites, proc)
-            _check_body(program, node.els, set(local_scope), in_doall,
-                        in_critical, seen_sites, proc)
-        elif isinstance(node, CriticalSection):
-            _check_body(program, node.body, set(local_scope), in_doall,
-                        True, seen_sites, proc)
-        elif isinstance(node, Call):
-            if ((in_doall or in_critical)
-                    and _contains_doall(program, node.callee, memo)):
-                raise ValidationError(
-                    f"call to {node.callee!r} inside a "
-                    f"{'DOALL' if in_doall else 'critical section'} "
-                    "would nest parallelism")
-        else:  # pragma: no cover - dataclass union is closed
-            raise ValidationError(f"unknown node type {type(node).__name__}")
-
-
-def _check_ref(program: Program, ref: ArrayRef, scope: Set[str],
-               seen_sites: Set[int], proc: str) -> None:
-    if ref.array not in program.arrays:
-        raise ValidationError(f"reference to undeclared array {ref.array!r} in {proc!r}")
-    array = program.arrays[ref.array]
-    if len(ref.subscripts) != array.rank:
-        raise ValidationError(
-            f"{ref} has {len(ref.subscripts)} subscripts; {ref.array!r} has rank {array.rank}")
-    if ref.site < 0:
-        raise ValidationError(f"{ref} was created outside a ProgramBuilder (site id missing)")
-    if ref.site in seen_sites:
-        raise ValidationError(f"site id {ref.site} reused (refs must not be shared between statements)")
-    seen_sites.add(ref.site)
-    for sub in ref.subscripts:
-        _check_symbols(sub.symbols, scope, proc, what=str(ref))
-
-
-def _check_symbols(symbols, scope: Set[str], proc: str, what: str) -> None:
-    missing = set(symbols) - scope
-    if missing:
-        raise ValidationError(
-            f"unbound symbol(s) {sorted(missing)} in {what} (procedure {proc!r})")
+    def _check_symbols(self, symbols, scope: Set[str], proc: str, what: str,
+                       site: Optional[int] = None) -> None:
+        missing = set(symbols) - scope
+        if missing:
+            self.report("VAL008",
+                        f"unbound symbol(s) {sorted(missing)} in {what} "
+                        f"(procedure {proc!r})", proc=proc, site=site)

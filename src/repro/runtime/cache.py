@@ -1,11 +1,13 @@
 """Content-addressed on-disk artifact cache.
 
-Two artifact kinds are stored, both pickled under their fingerprint:
+Three artifact kinds are stored, all pickled under their fingerprint:
 
 * ``prepared`` — :class:`~repro.sim.runner.PreparedRun` front-end output
   (marking + trace), keyed by :meth:`Job.prepare_fingerprint`;
 * ``result`` — finished :class:`~repro.sim.metrics.SimResult`, keyed by
-  :meth:`Job.fingerprint`.
+  :meth:`Job.fingerprint`;
+* ``lint`` — :class:`~repro.analysis.diagnostics.Report` from
+  ``repro lint``, keyed by :func:`repro.analysis.lint.lint_fingerprint`.
 
 Layout: ``<root>/v<CACHE_VERSION>/<kind>/<key[:2]>/<key>.pkl``.  The root
 defaults to ``~/.cache/repro`` and can be overridden with the
@@ -41,7 +43,8 @@ that can alter results, to invalidate previously cached artifacts."""
 
 KIND_PREPARED = "prepared"
 KIND_RESULT = "result"
-_KINDS = (KIND_PREPARED, KIND_RESULT)
+KIND_LINT = "lint"
+_KINDS = (KIND_PREPARED, KIND_RESULT, KIND_LINT)
 
 
 def cache_salt() -> str:

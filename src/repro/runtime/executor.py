@@ -29,12 +29,12 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import SimulationError
 from repro.runtime.cache import ArtifactCache, KIND_PREPARED, KIND_RESULT
-from repro.runtime.jobs import Job, group_by_prepare
+from repro.runtime.jobs import Job
 from repro.runtime.telemetry import JobRecord, Telemetry
 from repro.sim.engine import Engine
 from repro.sim.metrics import SimResult

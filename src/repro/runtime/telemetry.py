@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, IO, List, Optional, Union
+from typing import Any, Dict, IO, List, Union
 
 
 def write_json(payload: Any, path: Union[str, os.PathLike, IO[str]]) -> None:

@@ -1,0 +1,111 @@
+"""Unit tests for the diagnostics framework (rules, findings, reports)."""
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    RULES,
+    Diagnostic,
+    Report,
+    Severity,
+    rule,
+)
+
+
+class TestRules:
+    def test_catalogue_ids_match_keys(self):
+        for rule_id, entry in RULES.items():
+            assert entry.id == rule_id
+
+    def test_lookup(self):
+        assert rule("TPI001").severity is Severity.ERROR
+        assert rule("TPI002").severity is Severity.WARNING
+        assert rule("ANA001").severity is Severity.INFO
+        with pytest.raises(KeyError):
+            rule("NOPE999")
+
+    def test_families_present(self):
+        families = {rule_id[:3] for rule_id in RULES}
+        assert {"VAL", "TPI", "SC0", "ANA", "SAN"} <= families
+
+
+class TestDiagnostic:
+    def test_severity_follows_rule(self):
+        d = Diagnostic("TPI001", "under-marked")
+        assert d.severity is Severity.ERROR
+        assert d.rule.title == "under-marked read (TPI)"
+
+    def test_severity_override(self):
+        d = Diagnostic("TPI002", "downgraded", severity_override=Severity.INFO)
+        assert d.severity is Severity.INFO
+
+    def test_location_and_format(self):
+        d = Diagnostic("TPI001", "bad read", procedure="sweep", site=7,
+                       epoch="vort")
+        assert d.location() == "sweep:site 7:epoch vort"
+        assert d.format() == "error TPI001 [sweep:site 7:epoch vort]: bad read"
+
+    def test_format_without_location(self):
+        d = Diagnostic("VAL001", "entry missing")
+        assert d.format() == "error VAL001: entry missing"
+
+    def test_to_dict_skips_absent_fields(self):
+        d = Diagnostic("SC001", "msg", site=3, detail={"mode": "inline"})
+        payload = d.to_dict()
+        assert payload["rule"] == "SC001"
+        assert payload["severity"] == "error"
+        assert payload["site"] == 3
+        assert payload["detail"] == {"mode": "inline"}
+        assert "procedure" not in payload
+        assert "epoch" not in payload
+
+
+class TestReport:
+    def _mixed(self):
+        report = Report(subject="demo")
+        report.add(Diagnostic("TPI002", "warn one", site=5))
+        report.extend([Diagnostic("TPI001", "err one", site=9),
+                       Diagnostic("ANA001", "note", site=1)])
+        return report
+
+    def test_counts_and_accessors(self):
+        report = self._mixed()
+        assert report.counts() == {"error": 1, "warning": 1, "info": 1}
+        assert [d.rule_id for d in report.errors] == ["TPI001"]
+        assert [d.rule_id for d in report.warnings] == ["TPI002"]
+        assert report.has_errors
+
+    def test_exit_codes(self):
+        report = self._mixed()
+        assert report.exit_code() == EXIT_FINDINGS
+        warnings_only = Report()
+        warnings_only.add(Diagnostic("TPI002", "w"))
+        assert warnings_only.exit_code() == EXIT_CLEAN
+        assert warnings_only.exit_code(strict=True) == EXIT_FINDINGS
+        assert Report().exit_code(strict=True) == EXIT_CLEAN
+
+    def test_render_orders_by_severity(self):
+        lines = self._mixed().render().splitlines()
+        assert lines[0].startswith("lint demo: 1 error(s), 1 warning(s)")
+        assert "TPI001" in lines[1]
+        assert "TPI002" in lines[2]
+        assert "ANA001" in lines[3]
+
+    def test_render_can_hide_info(self):
+        text = self._mixed().render(show_info=False)
+        assert "ANA001" not in text
+        assert "TPI001" in text
+
+    def test_summary_includes_selected_meta(self):
+        report = Report(subject="x")
+        report.meta.update(modes="inline", cache="hit", internal="nope")
+        summary = report.summary()
+        assert "modes=inline" in summary and "cache=hit" in summary
+        assert "internal" not in summary
+
+    def test_to_dict_round_trip_fields(self):
+        payload = self._mixed().to_dict()
+        assert payload["subject"] == "demo"
+        assert payload["counts"]["error"] == 1
+        assert len(payload["diagnostics"]) == 3

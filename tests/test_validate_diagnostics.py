@@ -1,0 +1,178 @@
+"""Validator edge cases expressed as diagnostics (collect-all mode)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.ir import Affine, ProgramBuilder, sym
+from repro.ir.program import ArrayRef, Procedure, Statement
+from repro.ir.validate import program_diagnostics, validate_program
+
+
+def rules_of(program):
+    return [d.rule_id for d in program_diagnostics(program)]
+
+
+class TestCollectAll:
+    def test_valid_program_has_no_diagnostics(self):
+        b = ProgramBuilder("ok")
+        b.array("A", (8,))
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+        assert program_diagnostics(b.build()) == []
+
+    def test_multiple_problems_all_reported(self):
+        b = ProgramBuilder("multi")
+        b.array("A", (4, 4))
+        with b.procedure("main"):
+            b.stmt(reads=[b.at("A", 0)])  # rank mismatch
+            b.stmt(reads=[b.at("A", sym("q"), 0)])  # unbound symbol
+            b.call("ghost")  # undefined callee
+        program = b.build(validate=False)
+        rules = rules_of(program)
+        assert "VAL005" in rules and "VAL008" in rules and "VAL002" in rules
+        assert len(rules) >= 3
+
+    def test_first_diagnostic_is_raised(self):
+        b = ProgramBuilder("raise")
+        b.array("A", (4, 4))
+        with b.procedure("main"):
+            b.stmt(reads=[b.at("A", 0)])
+        program = b.build(validate=False)
+        first = program_diagnostics(program)[0]
+        with pytest.raises(ValidationError) as err:
+            validate_program(program)
+        assert str(err.value) == first.message
+
+
+class TestEdgeCases:
+    def test_missing_entry(self):
+        b = ProgramBuilder("noentry")
+        with b.procedure("other"):
+            pass
+        program = b.build(entry="main", validate=False)
+        assert "VAL001" in rules_of(program)
+
+    def test_doall_inside_critical_section(self):
+        b = ProgramBuilder("cs_doall")
+        b.array("A", (8,))
+        with b.procedure("main"):
+            with b.critical("L"):
+                with b.doall("i", 0, 7) as i:
+                    b.stmt(writes=[b.at("A", i)])
+        program = b.build(validate=False)
+        [diag] = [d for d in program_diagnostics(program)
+                  if d.rule_id == "VAL010"]
+        assert diag.procedure == "main"
+        assert "critical" in diag.message
+
+    def test_doall_through_call_inside_critical(self):
+        b = ProgramBuilder("cs_call")
+        b.array("A", (8,))
+        with b.procedure("kernel"):
+            with b.doall("i", 0, 7) as i:
+                b.stmt(writes=[b.at("A", i)])
+        with b.procedure("main"):
+            with b.critical("L"):
+                b.call("kernel")
+        program = b.build(validate=False)
+        assert "VAL010" in rules_of(program)
+
+    def test_nested_doall_direct_and_through_call(self):
+        b = ProgramBuilder("nest")
+        b.array("A", (8, 8))
+        with b.procedure("kernel"):
+            with b.doall("k", 0, 7) as k:
+                b.stmt(writes=[b.at("A", k, 0)])
+        with b.procedure("main"):
+            with b.doall("i", 0, 7) as i:
+                with b.doall("j", 0, 7) as j:
+                    b.stmt(writes=[b.at("A", i, j)])
+                b.call("kernel")
+        program = b.build(validate=False)
+        assert rules_of(program).count("VAL009") == 2
+
+    def test_shadowed_loop_index(self):
+        b = ProgramBuilder("shadow", params={"N": 4})
+        b.array("A", (4,))
+        with b.procedure("main"):
+            with b.serial("N", 0, 3) as n:
+                b.stmt(reads=[b.at("A", n)])
+            with b.serial("i", 0, 3):
+                with b.serial("i", 0, 3) as i:
+                    b.stmt(reads=[b.at("A", i)])
+        program = b.build(validate=False)
+        assert rules_of(program).count("VAL011") == 2
+
+    def test_duplicate_site_ids(self):
+        b = ProgramBuilder("dup")
+        b.array("A", (4,))
+        with b.procedure("main"):
+            ref = b.at("A", 0)
+            b.stmt(reads=[ref])
+            b.stmt(reads=[ref])  # shared ArrayRef: site id reused
+        program = b.build(validate=False)
+        [diag] = [d for d in program_diagnostics(program)
+                  if d.rule_id == "VAL007"]
+        assert diag.site == 0
+        assert "reused" in diag.message
+
+    def test_site_id_missing(self):
+        b = ProgramBuilder("nosite")
+        b.array("A", (4,))
+        program = b.build(entry="main", validate=False)
+        # A hand-made ArrayRef (site -1) bypassing the builder.
+        program.procedures["main"] = Procedure("main", (
+            Statement(reads=(ArrayRef("A", (Affine.of(0),)),), writes=(),
+                      work=1),))
+        [diag] = [d for d in program_diagnostics(program)
+                  if d.rule_id == "VAL006"]
+        assert diag.procedure == "main"
+        assert "ProgramBuilder" in diag.message
+
+    def test_undeclared_array(self):
+        b = ProgramBuilder("undecl")
+        b.array("A", (4,))
+        program = b.build(entry="main", validate=False)
+        program.procedures["main"] = Procedure("main", (
+            Statement(reads=(ArrayRef("ghost", (Affine.of(0),), 0),),
+                      writes=(), work=1),))
+        [diag] = [d for d in program_diagnostics(program)
+                  if d.rule_id == "VAL004"]
+        assert diag.site == 0 and "'ghost'" in diag.message
+
+    def test_recursion_reported_with_chain(self):
+        b = ProgramBuilder("rec")
+        with b.procedure("main"):
+            b.call("helper")
+        with b.procedure("helper"):
+            b.call("main")
+        program = b.build(validate=False)
+        [diag] = [d for d in program_diagnostics(program)
+                  if d.rule_id == "VAL003"]
+        assert "main" in diag.message and "helper" in diag.message
+
+    def test_undefined_callee_reported_once_with_caller(self):
+        b = ProgramBuilder("undef")
+        with b.procedure("main"):
+            b.call("ghost")
+            b.call("ghost")
+        program = b.build(validate=False)
+        diags = [d for d in program_diagnostics(program)
+                 if d.rule_id == "VAL002"]
+        assert len(diags) == 1
+        assert "'main'" in diags[0].message
+
+    def test_messages_carry_procedure_and_site(self):
+        b = ProgramBuilder("loc")
+        b.array("A", (4, 4))
+        with b.procedure("kernel"):
+            b.stmt(reads=[b.at("A", 1)])
+        with b.procedure("main"):
+            b.call("kernel")
+        program = b.build(validate=False)
+        [diag] = program_diagnostics(program)
+        assert diag.rule_id == "VAL005"
+        assert diag.procedure == "kernel"
+        assert diag.site == 0
+        assert "'kernel'" in diag.message and "site 0" in diag.message
