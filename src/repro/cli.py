@@ -47,6 +47,9 @@ from repro.workloads import build_workload, workload_names
 def _add_runtime_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="worker processes (0 = all cores; default 1)")
+    sub.add_argument("--engine", choices=("fast", "reference"),
+                     help="simulation engine (default $REPRO_ENGINE or fast; "
+                          "the engines are bit-identical, see docs/PERF.md)")
     sub.add_argument("--cache-dir", metavar="PATH",
                      help="artifact cache location (default ~/.cache/repro "
                           "or $REPRO_CACHE_DIR)")
@@ -137,8 +140,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _runtime_from_args(args):
     """Resolve the shared runtime flags into (jobs, cache, telemetry)."""
+    import os
+
     from repro.runtime import ArtifactCache, Telemetry
 
+    if getattr(args, "engine", None):
+        # The env var is how the choice reaches machine configs built deep
+        # inside experiments, and worker processes inherit it.
+        os.environ["REPRO_ENGINE"] = args.engine
     cache = None if args.no_cache else ArtifactCache(args.cache_dir)
     return args.jobs, cache, Telemetry()
 

@@ -59,6 +59,35 @@ class CoherenceScheme(abc.ABC):
 
     name: str = "abstract"
 
+    #: Timetag-reset counters (non-zero only for TPI; part of the shared
+    #: metrics contract so the engine never needs ``hasattr`` probing).
+    resets: int = 0
+    reset_invalidations: int = 0
+
+    #: Fast-engine batching contract (see :mod:`repro.sim.fastengine`).
+    #:
+    #: ``batch_hot_rule`` declares which lines are order-sensitive across
+    #: processors within one epoch ("hot"); hot events replay in the
+    #: reference heap order while everything else batches per task:
+    #:
+    #: * ``None`` — unknown coupling; the fast engine falls back to the
+    #:   reference per-event path for every epoch (always safe default);
+    #: * ``"none"`` — no access is order-sensitive (BASE: shared data is
+    #:   never cached and version bumps commute);
+    #: * ``"written"`` — lines touched by two or more processors *and*
+    #:   written this epoch (the word-granularity schemes: only the shadow
+    #:   memory couples processors);
+    #: * ``"directory"`` — the ``"written"`` set plus whatever
+    #:   :meth:`directory_hot_lines` adds (lines whose directory entry
+    #:   makes even read-read sharing order-sensitive).
+    #:
+    #: ``batch_evict_coupled`` marks schemes whose *evictions* mutate
+    #: global protocol state (directory entries, sharer sets); for those
+    #: the fast engine additionally falls back whenever a replacement
+    #: could touch a line another processor interacts with this epoch.
+    batch_hot_rule: Optional[str] = None
+    batch_evict_coupled: bool = False
+
     def __init__(self, ctx: SimContext):
         self.ctx = ctx
         self.machine = ctx.machine
@@ -94,6 +123,30 @@ class CoherenceScheme(abc.ABC):
     def release_fence(self, proc: int) -> AccessResult:
         """Make this processor's writes globally visible (lock release)."""
         return AccessResult(latency=0, kind=MissKind.HIT)
+
+    # -- metrics ------------------------------------------------------------
+
+    def extras(self) -> Dict[str, int]:
+        """Scheme-specific counters merged into ``SimResult.extra``.
+
+        Every engine collects scheme metrics through this one method (plus
+        the ``resets``/``reset_invalidations`` attributes above), so adding
+        a counter to a scheme is a one-place change.
+        """
+        return {}
+
+    # -- fast-engine hooks --------------------------------------------------
+
+    def directory_hot_lines(self, lines):
+        """Subset of ``lines`` that is order-sensitive even without a write
+        this epoch (``batch_hot_rule == "directory"`` only)."""
+        return ()
+
+    def make_batch_kernel(self):
+        """Vectorized batch kernel for this scheme's hit path, or ``None``
+        when the configuration has no vectorized kernel (the fast engine
+        then runs its per-event merged-order path, which is still exact)."""
+        return None
 
     # -- shared helpers -----------------------------------------------------
 

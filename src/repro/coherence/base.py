@@ -20,6 +20,14 @@ from repro.memsys.cache import Cache
 
 class BaseScheme(CoherenceScheme):
     name = "base"
+    # Shared accesses never touch a cache and version bumps commute, so no
+    # line is order-sensitive within an epoch.
+    batch_hot_rule = "none"
+
+    def make_batch_kernel(self):
+        from repro.coherence.batch import BaseBatchKernel
+
+        return BaseBatchKernel.build(self)
 
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)

@@ -1,0 +1,1465 @@
+"""Vectorized batch kernels: the schemes' cold-span paths over event arrays.
+
+The fast engine (:mod:`repro.sim.fastengine`) partitions each task's
+events into *cold* spans — runs of accesses to lines that are provably not
+order-sensitive across processors this epoch — and hands each span to the
+scheme's kernel.  Two generations of kernel live here:
+
+* the **full-batch** kernels (BASE, SC, TPI, HW directory) scan a window
+  of events and resolve *every* outcome — hits, misses, fills, refreshes,
+  timetag stamping, miss classification — in closed form with numpy (the
+  directory kernel runs its residual miss/upgrade protocol transitions
+  through an exact per-event loop inside the apply), then apply the whole
+  window at once.  Within a window, each direct-mapped cache set is
+  either *fully batched* or *fully per-event*: a set whose events the
+  scan cannot prove (two distinct lines competing for it, or a
+  staleness-oracle check that might fire) is "poisoned" and all of its
+  events run through the scheme's exact per-event path instead.  Because
+  an event's side effects are confined to its own set (plus the shadow
+  words / write buffer entries of its own addresses, which live in that
+  set too), the batched apply and the poisoned events commute, and no
+  intra-window ordering is lost.  Full-batch kernels additionally
+  support the engine's **epoch pre-apply** (:meth:`_FullBatchKernel.
+  preapply`): all of an epoch's cold events, across every task, merge
+  into one window whose per-task latency prefix sums are memoized, so
+  each later ``span`` call is a constant-time lookup;
+* the **boundary-scan** kernel (update) batches only the
+  trivially-provable prefix (hits, silent exclusive writes) and runs
+  every protocol transition through the exact path, rescanning around
+  it.
+
+Every per-event execution goes through exactly the code the reference
+engine uses, so protocol transitions and coherence-oracle errors
+reproduce bit-identically; the scans only ever *prove* that the batched
+events take a closed-form path.  Differential parity with the reference
+engine is enforced by tests/test_engine_parity.py.
+
+Closed-form misses lean on two facts about cold spans: a span belongs to
+one task and runs in program order, and cold lines are untouched by other
+processors within the epoch — so the only writer of a span's shadow words
+is the span's own task, and a line's whole in-window life (install,
+refresh, word validations) is a function of the window's own events.
+Intra-window ordering between accesses to the same set or word is
+restored with :class:`_Chains` (one stable argsort per key).
+
+Kernels require direct-mapped caches (``associativity == 1``): with one
+way per set, ``probe`` is a single gather and LRU state is provably inert.
+For any other geometry :meth:`build` returns ``None`` and the fast engine
+falls back to its exact per-event path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.coherence.api import AccessResult
+from repro.coherence.directory import _REASON_FALSE, _REASON_TRUE
+from repro.common.config import ConsistencyModel, WriteBufferKind
+from repro.common.errors import ProtocolError
+from repro.common.stats import MissKind
+from repro.compiler.marking import RefMark
+from repro.memsys.wbuffer import WRITE_MESSAGE_WORDS
+
+#: Adaptive scan-window bounds for the boundary-scan kernels; the
+#: full-batch kernels always use _MAX_WINDOW (no rescans to amortize).
+_MIN_WINDOW = 16
+_MAX_WINDOW = 4096
+
+#: Spans shorter than this run through the exact per-event path outright:
+#: a boundary-scan pass costs on the order of fifty events' worth of the
+#: per-event code, so batching tiny hot-fragmented spans is a net loss.
+#: The full-batch kernels scan once and never rescan, so their break-even
+#: sits much lower (see ``_FullBatchKernel.span_cutoff``).
+_SPAN_CUTOFF = 24
+
+
+class _Chains:
+    """Program-order predecessor queries within groups of equal keys.
+
+    One stable argsort groups equal keys while preserving program order
+    inside each group; cumulative tricks then answer "does some earlier
+    event in my group satisfy X?" for any flag vector without re-sorting.
+    """
+
+    def __init__(self, key: np.ndarray):
+        n = len(key)
+        self.n = n
+        order = np.argsort(key, kind="stable")
+        self.order = order
+        k_sorted = key[order]
+        gs = np.empty(n, dtype=bool)
+        gs[0] = True
+        gs[1:] = k_sorted[1:] != k_sorted[:-1]
+        self._gs = gs
+        pos = np.arange(n)
+        self._gfirst = np.maximum.accumulate(np.where(gs, pos, 0))
+        self._gid = np.cumsum(gs) - 1
+        self._ngroups = int(self._gid[-1]) + 1
+
+    def _scatter(self, arr_sorted: np.ndarray) -> np.ndarray:
+        out = np.empty(self.n, dtype=arr_sorted.dtype)
+        out[self.order] = arr_sorted
+        return out
+
+    def prior_any(self, flags: np.ndarray) -> np.ndarray:
+        """``out[i]`` — does some ``j < i`` in i's group have ``flags[j]``?"""
+        f = flags[self.order].astype(np.int64)
+        csum = np.cumsum(f) - f
+        base = np.maximum.accumulate(np.where(self._gs, csum, 0))
+        return self._scatter((csum - base) > 0)
+
+    def group_any(self, flags: np.ndarray) -> np.ndarray:
+        """``out[i]`` — does *any* event in i's group have the flag?"""
+        hot = np.bincount(self._gid, weights=flags[self.order],
+                          minlength=self._ngroups) > 0
+        return self._scatter(hot[self._gid])
+
+
+def prior_same_addr(addr: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """``out[i]`` — does some ``j < i`` have ``mask[j]`` and same address?"""
+    n = len(addr)
+    if n == 0 or not mask.any():
+        return np.zeros(n, dtype=bool)
+    return _Chains(addr).prior_any(mask)
+
+
+class _SetChains(_Chains):
+    """Per-set chains plus line-residency tracking.
+
+    ``mask`` selects the events that allocate into the cache (install on
+    miss, or hit the resident line); for those, the occupant of the set
+    *after* the event is always the event's own line.  Hence the occupant
+    seen by event i is the line of its previous masked same-set event, or
+    the pre-window occupant if it has none — one gather either way.
+    """
+
+    def __init__(self, s: np.ndarray, line: np.ndarray,
+                 mask: Optional[np.ndarray]):
+        super().__init__(s)
+        n = self.n
+        pos = np.arange(n)
+        ls = line[self.order]
+        m = mask[self.order] if mask is not None else np.ones(n, dtype=bool)
+        cand = np.where(m, pos, -1)
+        run = np.maximum.accumulate(cand)
+        prev = np.empty(n, dtype=np.int64)
+        prev[0] = -1
+        prev[1:] = run[:-1]
+        prev[prev < self._gfirst] = -1
+        has_prev = prev >= 0
+        prev_line = np.where(has_prev, ls[np.maximum(prev, 0)], -1)
+        self.has_prev = self._scatter(has_prev)
+        self.prev_line = self._scatter(prev_line)
+        # A set is *conflicted* when two distinct lines compete for it
+        # within the window (an in-window eviction chain): closed-form
+        # residency would need install ordering, so such sets are poisoned.
+        confl = m & has_prev & (prev_line != ls)
+        hot = np.bincount(self._gid, weights=confl,
+                          minlength=self._ngroups) > 0
+        self.conflict = self._scatter(hot[self._gid])
+
+    def resident(self, line: np.ndarray, tags0: np.ndarray) -> np.ndarray:
+        """Is the event's line resident when the event executes?"""
+        return np.where(self.has_prev, self.prev_line == line, tags0 == line)
+
+
+class _Cols:
+    """One window of events, possibly spanning several processors.
+
+    ``parts`` lists contiguous ``(proc, lo, hi)`` ranges in execution
+    order; ``skey``/``akey`` are the grouping keys for the chains
+    machinery — equal to the set index / word address within one
+    processor, and offset per processor in merged windows so that no
+    chain group ever crosses a processor boundary."""
+
+    __slots__ = ("n", "s", "line", "wd", "wr", "sh", "addr", "site",
+                 "work", "parts", "skey", "akey", "_procv", "cache")
+
+    _FIELDS = (("s", "set_"), ("line", "line"), ("wd", "word"),
+               ("wr", "is_write"), ("sh", "shared"), ("addr", "addr"),
+               ("site", "site"), ("work", "work"))
+
+    @classmethod
+    def window(cls, proc: int, ta, lo: int, hi: int) -> "_Cols":
+        c = cls()
+        c.n = hi - lo
+        for name, attr in cls._FIELDS:
+            setattr(c, name, getattr(ta, attr)[lo:hi])
+        c.parts = ((proc, 0, c.n),)
+        c.skey = c.s
+        c.akey = c.addr
+        c._procv = None
+        c.cache = {}
+        return c
+
+    @classmethod
+    def merged(cls, pieces, n_sets: int, total_words: int) -> "_Cols":
+        """``pieces``: ``(proc, ta, sel)`` in execution order, ``sel`` a
+        boolean mask selecting the events to include (None = all)."""
+        c = cls()
+        stacks = {name: [] for name, _ in cls._FIELDS}
+        parts = []
+        skey = []
+        akey = []
+        pos = 0
+        for proc, ta, sel in pieces:
+            for name, attr in cls._FIELDS:
+                arr = getattr(ta, attr)
+                stacks[name].append(arr if sel is None else arr[sel])
+            k = len(stacks["s"][-1])
+            parts.append((proc, pos, pos + k))
+            skey.append(stacks["s"][-1] + proc * n_sets)
+            akey.append(stacks["addr"][-1] + proc * total_words)
+            pos += k
+        for name in stacks:
+            setattr(c, name, np.concatenate(stacks[name]))
+        c.n = pos
+        c.parts = tuple(parts)
+        c.skey = np.concatenate(skey)
+        c.akey = np.concatenate(akey)
+        c._procv = None
+        c.cache = {}
+        return c
+
+    @property
+    def procv(self) -> np.ndarray:
+        """Per-event processor id (for 2-D ``[proc, addr]`` indexing)."""
+        if self._procv is None:
+            v = np.empty(self.n, dtype=np.int64)
+            for p, lo, hi in self.parts:
+                v[lo:hi] = p
+            self._procv = v
+        return self._procv
+
+    def compress(self, m: np.ndarray) -> "_Cols":
+        """Keep only events where ``m`` holds (single-part windows only —
+        merged windows are never partially applied)."""
+        (proc, _, _), = self.parts
+        c = _Cols()
+        c.n = int(m.sum())
+        for name, _ in self._FIELDS:
+            setattr(c, name, getattr(self, name)[m])
+        c.parts = ((proc, 0, c.n),)
+        c.skey = c.s
+        c.akey = c.addr
+        c._procv = None
+        c.cache = {}
+        return c
+
+
+class _BatchKernel:
+    """Shared plumbing: live cache views, window loops, accounting."""
+
+    def __init__(self, scheme):
+        self.scheme = scheme
+        self.machine = scheme.machine
+        self.network = scheme.network
+        self.shadow = scheme.shadow
+        caches = scheme.caches
+        # Direct-mapped views: way dimension dropped, so a probe is one
+        # gather and all scatters are 1-D/2-D fancy indexing.
+        self.tags = [c.tags[:, 0] for c in caches]
+        self.wv = [c.word_valid[:, 0, :] for c in caches]
+        self.cver = [c.version[:, 0, :] for c in caches]
+        self.used = [c.used[:, 0, :] for c in caches]
+        self.tt = [c.timetag[:, 0, :] for c in caches]
+        self.dirty = [c.dirty[:, 0] for c in caches]
+        self.check = self.machine.check_coherence
+        self.hit_lat = self.machine.hit_latency
+        self.line_words = self.machine.cache.line_words
+        self.word_lat = 0
+        self.miss_lat = 0
+        self.seq = self.machine.consistency is ConsistencyModel.SEQUENTIAL
+        self.window = 128
+        self.span_cutoff = _SPAN_CUTOFF
+
+    @classmethod
+    def build(cls, scheme) -> Optional["_BatchKernel"]:
+        if scheme.machine.cache.associativity != 1:
+            return None
+        return cls(scheme)
+
+    def begin_epoch(self) -> None:
+        """Latch the epoch-constant network latencies (rho only moves at
+        ``observe_epoch``, so these are scalars for the whole epoch)."""
+        self.word_lat = self.network.word_latency()
+        self.miss_lat = self.network.miss_latency(self.line_words)
+
+    def resync(self) -> None:
+        """Rebuild any derived protocol mirror after a fallback epoch."""
+
+    def boundary(self, eng, proc: int, ta, i: int) -> int:
+        """Run one event through the scheme's exact per-event path."""
+        return eng._exec_event(proc, ta.events[i])
+
+    # ---------------------------------------------------- boundary-scan span
+
+    def span(self, eng, proc: int, ta, lo: int, hi: int) -> int:
+        """Process events ``[lo, hi)`` of one task; returns elapsed cycles.
+
+        One scan serves a whole window even across boundary events: a
+        boundary only mutates state in its own (direct-mapped) cache set —
+        the installed line, its evicted occupant, their directory entries,
+        the shadow words of that one line — so the precomputed batchable
+        flags stay valid for every later event in a *different* set.  The
+        window is truncated at the first later event that revisits a
+        boundary's set, and scanning resumes there.
+        """
+        elapsed = 0
+        breakdown = eng.result.breakdown
+        if hi - lo < self.span_cutoff:
+            for i in range(lo, hi):
+                breakdown["busy"] += ta.events[i].work
+                elapsed += ta.events[i].work + self.boundary(eng, proc, ta, i)
+            return elapsed
+        i = lo
+        while i < hi:
+            j = min(i + self.window, hi)
+            window = j - i
+            ok, ctx = self._scan(proc, ta, i, j)
+            sets = ctx["s"]
+            pos = 0
+            limit = window
+            clean = True
+            while pos < limit:
+                bad = ~ok[pos:limit]
+                n_ok = int(bad.argmax()) if bad.any() else limit - pos
+                if n_ok:
+                    elapsed += self._apply(eng, proc, ta, i, pos,
+                                           pos + n_ok, ctx)
+                    pos += n_ok
+                    if pos >= limit:
+                        break
+                elif pos == 0:
+                    clean = False
+                # The scan proved this event takes a non-trivial path: run
+                # it through the scheme's exact per-event code, then keep
+                # using the scan for events in untouched sets.
+                event = ta.events[i + pos]
+                breakdown["busy"] += event.work
+                elapsed += event.work + self.boundary(eng, proc, ta, i + pos)
+                touched_set = sets[pos]
+                pos += 1
+                revisit = np.flatnonzero(sets[pos:limit] == touched_set)
+                if revisit.size:
+                    limit = pos + int(revisit[0])
+            i += pos
+            if clean and pos == window and window == self.window:
+                self.window = min(self.window * 2, _MAX_WINDOW)
+            elif not clean:
+                self.window = max(self.window // 2, _MIN_WINDOW)
+        return int(elapsed)
+
+    # ------------------------------------------------------------- helpers
+
+    def _charge_work(self, eng, ta, lo: int, n: int) -> int:
+        work = int(ta.work[lo:lo + n].sum())
+        eng.result.breakdown["busy"] += work
+        return work
+
+    def _work(self, eng, cols: _Cols) -> int:
+        work = int(cols.work.sum())
+        eng.result.breakdown["busy"] += work
+        return work
+
+    def _gset(self, arrs, cols: _Cols) -> np.ndarray:
+        """Per-event gather from per-processor set-indexed arrays."""
+        parts = cols.parts
+        if len(parts) == 1:
+            return arrs[parts[0][0]][cols.s]
+        out = np.empty(cols.n, dtype=arrs[0].dtype)
+        for p, lo, hi in parts:
+            out[lo:hi] = arrs[p][cols.s[lo:hi]]
+        return out
+
+    def _gword(self, arrs, cols: _Cols) -> np.ndarray:
+        """Per-event gather from per-processor ``[set, word]`` arrays."""
+        parts = cols.parts
+        if len(parts) == 1:
+            return arrs[parts[0][0]][cols.s, cols.wd]
+        out = np.empty(cols.n, dtype=arrs[0].dtype)
+        for p, lo, hi in parts:
+            out[lo:hi] = arrs[p][cols.s[lo:hi], cols.wd[lo:hi]]
+        return out
+
+    def _gword0(self, arrs, cols: _Cols) -> np.ndarray:
+        """Like :meth:`_gword` but always word 0 (per-line timetags)."""
+        parts = cols.parts
+        if len(parts) == 1:
+            return arrs[parts[0][0]][cols.s, 0]
+        out = np.empty(cols.n, dtype=arrs[0].dtype)
+        for p, lo, hi in parts:
+            out[lo:hi] = arrs[p][cols.s[lo:hi], 0]
+        return out
+
+    def _set_chains(self, cols: _Cols, mask, token) -> "_SetChains":
+        """Per-set chains for this window, memoized on the window: the
+        argsort and residency links depend only on static columns (and a
+        static allocation mask), so engine-cached merged windows reuse
+        them across schemes and repeated simulations."""
+        ch = cols.cache.get(token)
+        if ch is None:
+            ch = _SetChains(cols.skey, cols.line, mask)
+            cols.cache[token] = ch
+        return ch
+
+    def _addr_chains(self, cols: _Cols) -> _Chains:
+        ch = cols.cache.get("addr")
+        if ch is None:
+            ch = _Chains(cols.akey)
+            cols.cache["addr"] = ch
+        return ch
+
+    def _prior_addr(self, cols: _Cols, mask: np.ndarray) -> np.ndarray:
+        if not mask.any():
+            return np.zeros(cols.n, dtype=bool)
+        return self._addr_chains(cols).prior_any(mask)
+
+    def _parts_idx(self, cols: _Cols, mask: np.ndarray):
+        """Yield ``(proc, absolute-index-array)`` for events where
+        ``mask`` holds, one entry per contiguous per-processor part."""
+        parts = cols.parts
+        if len(parts) == 1:
+            idx = np.flatnonzero(mask)
+            if idx.size:
+                yield parts[0][0], idx
+            return
+        for p, lo, hi in parts:
+            idx = np.flatnonzero(mask[lo:hi])
+            if idx.size:
+                yield p, idx + lo
+
+    def _note_hits(self, eng, n_rd: int, n_shr: int) -> int:
+        """Account ``n_rd`` read hits (``n_shr`` of them shared)."""
+        result = eng.result
+        result.reads += n_rd
+        result.shared_reads += n_shr
+        mc = result.miss_counts
+        mc[MissKind.HIT] = mc.get(MissKind.HIT, 0) + n_rd
+        cycles = n_rd * self.hit_lat
+        result.breakdown["busy"] += cycles
+        return cycles
+
+    def _note_read_misses(self, eng, n: int, n_shr: int,
+                          kind_masks) -> int:
+        """Account ``n`` closed-form read misses: per-kind counts, the
+        paper's miss-latency accumulators, read-stall time, line traffic."""
+        result = eng.result
+        result.reads += n
+        result.shared_reads += n_shr
+        mc = result.miss_counts
+        for kind, mask in kind_masks:
+            count = int(mask.sum())
+            if count:
+                mc[kind] = mc.get(kind, 0) + count
+        cycles = n * self.miss_lat
+        result.miss_latency_total += cycles
+        result.miss_latency_count += n
+        result.breakdown["read_stall"] += cycles
+        self._traffic(eng, read_words=n * (1 + self.line_words))
+        return cycles
+
+    def _write_latency(self, eng, n_sw: int, n_pw: int) -> int:
+        """Latency/breakdown for ``n_sw`` shared + ``n_pw`` private write
+        hits (write-through schemes: SEQ stalls for the word round trip)."""
+        bd = eng.result.breakdown
+        lat_shared = self.word_lat if self.seq else self.hit_lat
+        if lat_shared > self.hit_lat:
+            bd["write_stall"] += n_sw * lat_shared
+        else:
+            bd["busy"] += n_sw * lat_shared
+        bd["busy"] += n_pw * self.hit_lat
+        return n_sw * lat_shared + n_pw * self.hit_lat
+
+    def _traffic(self, eng, read_words: int = 0, write_words: int = 0,
+                 coherence_words: int = 0) -> None:
+        if read_words or write_words or coherence_words:
+            eng.result.note_traffic(read_words, write_words, coherence_words)
+            eng._epoch_words += read_words + write_words + coherence_words
+
+    def _bump_shadow(self, addrs: np.ndarray, proc) -> None:
+        """``proc`` may be a scalar or a per-event vector (merged windows;
+        duplicate addresses resolve last-wins, matching execution order)."""
+        np.add.at(self.shadow.version, addrs, 1)
+        self.shadow.last_writer[addrs] = proc
+
+    def _install_lines(self, proc: int, sets: np.ndarray,
+                       lines: np.ndarray) -> None:
+        """Batched fills: tags, full word validity, and the line's shadow
+        version snapshot (call *before* this window's shadow bumps — no
+        write can precede the install of its own line within a window)."""
+        self.tags[proc][sets] = lines
+        self.wv[proc][sets] = True
+        lw = self.line_words
+        base = lines * lw
+        self.cver[proc][sets] = self.shadow.version[
+            base[:, None] + np.arange(lw)]
+
+
+class _FullBatchKernel(_BatchKernel):
+    """Span loop for the full-batch kernels: one scan + one apply per
+    window; events the scan could not prove (and every event sharing a
+    cache set with one) run through the exact path after the apply.
+
+    The apply-first order is sound because a poisoned set's events and
+    the batched events touch disjoint cache sets, shadow words, touched
+    bits, and write-buffer entries — every side channel is keyed by the
+    event's own set or address.
+
+    Full-batch kernels additionally support *epoch pre-apply*
+    (:meth:`preapply`): when the fast engine proves that an epoch's hot
+    and cold events live in disjoint cache sets, every task's cold events
+    are scanned and applied in one merged multi-processor window before
+    dispatch, and :meth:`span` then answers from memoized per-task
+    elapsed-cycle prefix sums instead of rescanning per window."""
+
+    full_batch = True
+
+    def __init__(self, scheme):
+        super().__init__(scheme)
+        self._memo = {}
+
+    def span(self, eng, proc: int, ta, lo: int, hi: int) -> int:
+        cs = self._memo.get(id(ta))
+        if cs is not None:
+            return int(cs[hi] - cs[lo])
+        elapsed = 0
+        breakdown = eng.result.breakdown
+        if hi - lo < self.span_cutoff:
+            for i in range(lo, hi):
+                breakdown["busy"] += ta.events[i].work
+                elapsed += ta.events[i].work + self.boundary(eng, proc, ta, i)
+            return elapsed
+        i = lo
+        while i < hi:
+            j = min(i + _MAX_WINDOW, hi)
+            cols = _Cols.window(proc, ta, i, j)
+            ok, ctx = self._scan(cols)
+            if ok.all():
+                elapsed += self._apply(eng, cols, ctx)
+            else:
+                cok = cols.compress(ok)
+                elapsed += self._apply(eng, cok,
+                                       {k: v[ok] for k, v in ctx.items()})
+                for p in np.flatnonzero(~ok).tolist():
+                    event = ta.events[i + p]
+                    breakdown["busy"] += event.work
+                    elapsed += event.work + self.boundary(eng, proc, ta,
+                                                          i + p)
+            i = j
+        return int(elapsed)
+
+    def preapply(self, eng, pieces, cols: Optional[_Cols] = None) -> bool:
+        """Scan and apply an epoch's cold events in one merged window.
+
+        ``pieces`` lists ``(proc, ta, sel)`` in dispatch order; ``sel``
+        selects each task's cold events (None = all of them).  If any set
+        is poisoned the method returns False with *no* side effects and
+        the engine falls back to ordinary per-span batching.  On success
+        all counters/state are final and a per-task prefix-sum of
+        ``work + latency`` (zero at hot positions) is memoized so that
+        :meth:`span` is a constant-time lookup for the rest of the epoch.
+        """
+        if cols is None:
+            cols = _Cols.merged(pieces, self.machine.cache.n_sets,
+                                self.shadow.total_words)
+        ok, ctx = self._scan(cols)
+        if not bool(ok.all()):
+            return False
+        lat = np.zeros(cols.n, dtype=np.int64)
+        self._apply(eng, cols, ctx, lat_out=lat)
+        v = cols.work + lat
+        for (proc, ta, sel), (p, lo, hi) in zip(pieces, cols.parts):
+            vfull = np.zeros(ta.n + 1, dtype=np.int64)
+            if sel is None:
+                vfull[1:] = v[lo:hi]
+            else:
+                vfull[1:][sel] = v[lo:hi]
+            self._memo[id(ta)] = np.cumsum(vfull)
+        return True
+
+    def clear_memo(self) -> None:
+        self._memo.clear()
+
+
+class BaseBatchKernel(_FullBatchKernel):
+    """BASE: shared accesses are fixed-cost remote word operations; the
+    private side is an ordinary cache whose misses are closed-form (an
+    install has no protocol side effects beyond its own set)."""
+
+    def _scan(self, cols):
+        line, wr, sh, addr = cols.line, cols.wr, cols.sh, cols.addr
+        priv = ~sh
+        ch = self._set_chains(cols, priv, "base")
+        resident = ch.resident(line, self._gset(self.tags, cols))
+        # Installed lines are fully valid and writes validate their word,
+        # so a resident private line always hits; misses install.
+        miss = priv & ~resident
+        touch = priv & (wr | miss)
+        repl = (self.scheme.touched[cols.procv, addr]
+                | self._prior_addr(cols, touch))
+        # Shared accesses never consult the cache: always batchable.
+        ok = ~(priv & ch.conflict)
+        ctx = {"miss": miss, "repl": repl, "touch": touch}
+        return ok, ctx
+
+    def _apply(self, eng, cols, ctx, lat_out=None):
+        s, wd, wr, sh, addr, line = (cols.s, cols.wd, cols.wr, cols.sh,
+                                     cols.addr, cols.line)
+        miss, repl, touch = ctx["miss"], ctx["repl"], ctx["touch"]
+        result = eng.result
+        bd = result.breakdown
+        elapsed = self._work(eng, cols)
+
+        shr = sh & ~wr
+        n_shr = int(shr.sum())
+        if n_shr:
+            result.reads += n_shr
+            result.shared_reads += n_shr
+            mc = result.miss_counts
+            mc[MissKind.UNCACHED] = mc.get(MissKind.UNCACHED, 0) + n_shr
+            cycles = n_shr * self.word_lat
+            result.miss_latency_total += cycles
+            result.miss_latency_count += n_shr
+            bd["read_stall"] += cycles
+            self._traffic(eng, read_words=2 * n_shr)
+            elapsed += cycles
+            if lat_out is not None:
+                lat_out[shr] = self.word_lat
+
+        pr_miss = miss & ~wr
+        n_pm = int(pr_miss.sum())
+        if n_pm:
+            rp = repl[pr_miss]
+            elapsed += self._note_read_misses(
+                eng, n_pm, 0, ((MissKind.REPLACEMENT, rp),
+                               (MissKind.COLD, ~rp)))
+            if lat_out is not None:
+                lat_out[pr_miss] = self.miss_lat
+
+        pr_hit = ~sh & ~wr & ~miss
+        n_ph = int(pr_hit.sum())
+        if n_ph:
+            elapsed += self._note_hits(eng, n_ph, 0)
+            if lat_out is not None:
+                lat_out[pr_hit] = self.hit_lat
+
+        if miss.any():
+            # BASE keeps no per-word versions; a fill is tags + validity.
+            for p, idx in self._parts_idx(cols, miss):
+                self.tags[p][s[idx]] = line[idx]
+                self.wv[p][s[idx]] = True
+        if touch.any():
+            self.scheme.touched[cols.procv[touch], addr[touch]] = True
+
+        n_wr = int(wr.sum())
+        if n_wr:
+            result.writes += n_wr
+            self._bump_shadow(addr[wr], cols.procv[wr])
+            shw = sh & wr
+            n_sw = int(shw.sum())
+            result.shared_writes += n_sw
+            self._traffic(eng, write_words=2 * n_sw)
+            pw = wr & ~sh
+            if n_wr > n_sw:
+                for p, idx in self._parts_idx(cols, pw):
+                    self.wv[p][s[idx], wd[idx]] = True
+                wm = pw & miss
+                n_wm = int(wm.sum())
+                if n_wm:  # write-allocate fetch, non-blocking for the CPU
+                    self._traffic(
+                        eng, read_words=n_wm * (1 + self.line_words))
+            elapsed += self._write_latency(eng, n_sw, n_wr - n_sw)
+            if lat_out is not None:
+                lat_out[shw] = self.word_lat if self.seq else self.hit_lat
+                lat_out[pw] = self.hit_lat
+        return elapsed
+
+
+class _WriteBufferMixin:
+    """Shared-write buffering for the write-through schemes (TPI/SC)."""
+
+    def _note_shared_writes(self, proc: int, addrs: np.ndarray) -> int:
+        """Feed ``addrs`` (in program order) to the write buffer; returns
+        network words injected now (FIFO posts each write immediately, the
+        coalescing buffer holds everything until the next sync drain)."""
+        wbuf = self.scheme.wbuffers[proc]
+        n = len(addrs)
+        if wbuf.kind is WriteBufferKind.FIFO:
+            wbuf.pending += n
+            wbuf.total_writes += n
+            return WRITE_MESSAGE_WORDS * n
+        wbuf.total_writes += n
+        uniq, counts = np.unique(addrs, return_counts=True)
+        for a, c in zip(uniq.tolist(), counts.tolist()):
+            if a in wbuf.pending:
+                wbuf.merged_writes += c
+            else:
+                wbuf.pending.add(a)
+                wbuf.merged_writes += c - 1
+        return 0
+
+
+class TpiBatchKernel(_WriteBufferMixin, _FullBatchKernel):
+    """TPI fully in closed form: hit tests, fills, refreshes, timetag
+    stamping, and miss classification.
+
+    The per-word state after any prefix of a window's events is a pure
+    function of the pre-window state and the prefix itself (cold lines
+    have no other writer), so each quantity has a vector formula.  The
+    only subtlety is that whether a Time-Read *stamps* its word (raises
+    its tag to R) depends on whether it missed, which depends on earlier
+    stamps to the same word.  Monotonicity breaks the circle exactly: a
+    first pass ignoring stamps computes a superset of the real misses in
+    which every spurious member is preceded by a real stamper — so using
+    that set as the stamper set in a second pass reproduces the real
+    outcome for every event.
+    """
+
+    def __init__(self, scheme):
+        super().__init__(scheme)
+        self._site_cap = 0
+        self._time_read = np.zeros(0, dtype=bool)
+        self._strict = np.zeros(0, dtype=bool)
+
+    def _site_tables(self, max_site: int):
+        if max_site >= self._site_cap:
+            cap = max_site + 1
+            marking = self.scheme.ctx.marking
+            time_read = np.zeros(cap, dtype=bool)
+            strict = np.zeros(cap, dtype=bool)
+            for site, mark in marking.tpi.items():
+                if site < cap and mark is RefMark.TIME_READ:
+                    time_read[site] = True
+            for site in marking.strict_sites:
+                if site < cap:
+                    strict[site] = True
+            self._time_read, self._strict, self._site_cap = (
+                time_read, strict, cap)
+        return self._time_read, self._strict
+
+    def _scan(self, cols):
+        scheme = self.scheme
+        R = scheme.epoch_index
+        mod = scheme.modulus
+        per_word = scheme.per_word_tags
+        n = cols.n
+        s, line, wd = cols.s, cols.line, cols.wd
+        wr, sh, addr, site = cols.wr, cols.sh, cols.addr, cols.site
+        rd = ~wr
+
+        ch = self._set_chains(cols, None, "hold")  # every access allocates
+        ach = self._addr_chains(cols)
+        tags0 = self._gset(self.tags, cols)
+        resident = ch.resident(line, tags0)
+        wb = ach.prior_any(wr)
+        wv0 = self._gword(self.wv, cols)
+
+        tr_table, strict_table = self._site_tables(int(site.max()))
+        tr = rd & sh & tr_table[site]
+        strict = tr & strict_table[site]
+        region = scheme.region_of[addr]
+        gap = R - scheme.w_regs[np.maximum(region, 0)]
+        window = np.minimum(gap, mod - 1)
+        no_region = region < 0
+        zeros = np.zeros(n, dtype=bool)
+
+        if per_word:
+            age0 = (R - self._gword(self.tt, cols)) % mod
+        else:
+            # Per-line tags live on word 0; strict Time-Reads never hit.
+            age0 = (R - self._gword0(self.tt, cols)) % mod
+
+        def tt_pass(age, strict_ok):
+            return np.where(tr, np.where(strict, strict_ok,
+                                         (age <= window) | no_region), True)
+
+        # Pass 1, pre-window state only: exact for every event up to (and
+        # including) its set's first effective miss.
+        if per_word:
+            age_p = np.where(wb, 0, age0)
+            hit_p = resident & (wb | wv0) & tt_pass(age_p, age_p == 0)
+        else:
+            hit_p = resident & (wb | wv0) & tt_pass(age0, zeros)
+        cand = np.where(wr, ~resident, ~hit_p)
+        # fresh: a prior same-set miss filled/refreshed the line, so every
+        # word is valid with tag >= R-1 (the paper's fill rule).
+        fresh = ch.prior_any(cand)
+        fill = tags0 != line  # per set: fresh via install, not refresh
+        valid = wb | fresh | wv0
+        if per_word:
+            age_f = np.where(fill | ~wv0, 1, np.minimum(age0, 1))
+            age_ns = np.where(wb, 0, np.where(fresh, age_f, age0))
+            hit_ns = resident & valid & tt_pass(age_ns, age_ns == 0)
+            # Pass 2: stamps from pass-1 misses (exact, see class docs).
+            stamped = ach.prior_any(rd & ~hit_ns & ~strict)
+            age2 = np.where(stamped, 0, age_ns)
+            hit = resident & valid & tt_pass(age2, age2 == 0)
+        else:
+            age_ns = np.where(fresh, 1, age0)
+            stamped = zeros
+            hit = resident & valid & tt_pass(age_ns, zeros)
+        rmiss = rd & ~hit
+        wmiss = wr & ~resident
+
+        cver0 = self._gword(self.cver, cols)
+        ver0 = self.shadow.version[addr]
+        # Words rewritten from memory during the window carry a current
+        # version: any refresh/fill upgraded word, or the accessed word of
+        # any earlier read miss to the same address.
+        rm_before = ach.prior_any(rmiss)
+        if per_word:
+            refreshed = fresh & (fill | ~wv0 | (age0 > 1))
+        else:
+            refreshed = fresh
+        current = wb | rm_before | refreshed | (cver0 == ver0)
+        bad = ch.conflict
+        if self.check:
+            fresh_ver = wb | rm_before | refreshed
+            stale = hit & ~fresh_ver & (
+                cver0 < self.shadow.epoch_version[addr])
+            if stale.any():
+                # The staleness oracle may fire: route the whole set
+                # through the exact path so it fires against true state.
+                bad = bad | ch.group_any(stale)
+        touched = (scheme.touched[cols.procv, addr]
+                   | ach.prior_any(np.ones(n, dtype=bool)))
+
+        ctx = {"tr": tr, "strict": strict, "hit": hit,
+               "rmiss": rmiss, "wmiss": wmiss, "resident": resident,
+               "valid": valid, "current": current, "touched": touched,
+               "fill": fill}
+        return ~bad, ctx
+
+    def _apply(self, eng, cols, ctx, lat_out=None):
+        scheme = self.scheme
+        R = scheme.epoch_index
+        per_word = scheme.per_word_tags
+        c = ctx
+        s, wd, wr, sh, addr, line = (cols.s, cols.wd, cols.wr, cols.sh,
+                                     cols.addr, cols.line)
+        rmiss, wmiss, hit = c["rmiss"], c["wmiss"], c["hit"]
+        result = eng.result
+        elapsed = self._work(eng, cols)
+
+        rd = ~wr
+        rhit = rd & hit
+        n_hit = int(rhit.sum())
+        if n_hit:
+            elapsed += self._note_hits(eng, n_hit, int((rhit & sh).sum()))
+            if lat_out is not None:
+                lat_out[rhit] = self.hit_lat
+        scheme.time_reads += int(c["tr"].sum())
+        scheme.time_read_hits += int((c["tr"] & hit).sum())
+        scheme.strict_reads += int(c["strict"].sum())
+
+        n_rm = int(rmiss.sum())
+        if n_rm:
+            res, val, cur, tch = (c["resident"][rmiss], c["valid"][rmiss],
+                                  c["current"][rmiss], c["touched"][rmiss])
+            elapsed += self._note_read_misses(
+                eng, n_rm, int(sh[rmiss].sum()),
+                ((MissKind.CONSERVATIVE, res & val & cur),
+                 (MissKind.TRUE_SHARING, res & val & ~cur),
+                 (MissKind.RESET, res & ~val),
+                 (MissKind.REPLACEMENT, ~res & tch),
+                 (MissKind.COLD, ~res & ~tch)))
+            if lat_out is not None:
+                lat_out[rmiss] = self.miss_lat
+
+        # ---- state: line-wide fill/refresh effects for missed sets -----
+        miss_any = rmiss | wmiss
+        if miss_any.any():
+            lw = self.line_words
+            for p, idx in self._parts_idx(cols, miss_any):
+                su, first = np.unique(s[idx], return_index=True)
+                lu = line[idx][first]
+                fillu = c["fill"][idx][first]
+                base = lu * lw
+                sv = self.shadow.version[base[:, None] + np.arange(lw)]
+                if per_word:
+                    ttu = self.tt[p][su]
+                    keep = (~fillu[:, None]) & self.wv[p][su] & (ttu >= R - 1)
+                    self.tt[p][su] = np.where(keep, ttu, R - 1)
+                    self.cver[p][su] = np.where(keep, self.cver[p][su], sv)
+                else:
+                    self.tt[p][su] = R - 1
+                    self.cver[p][su] = sv
+                self.wv[p][su] = True
+                self.tags[p][su] = lu
+            if per_word and n_rm:
+                # Accessed word of each read miss: version refetched, tag
+                # stamped to R unless the Time-Read was strict.
+                for p, idx in self._parts_idx(cols, rmiss):
+                    self.cver[p][s[idx], wd[idx]] = (
+                        self.shadow.version[addr[idx]])
+                    self.tt[p][s[idx], wd[idx]] = np.where(
+                        c["strict"][idx], R - 1, R)
+        scheme.touched[cols.procv, addr] = True
+
+        n_wr = int(wr.sum())
+        if n_wr:
+            result.writes += n_wr
+            self._bump_shadow(addr[wr], cols.procv[wr])
+            for p, idx in self._parts_idx(cols, wr):
+                sw, ww = s[idx], wd[idx]
+                self.wv[p][sw, ww] = True
+                if per_word:
+                    self.tt[p][sw, ww] = R
+                self.cver[p][sw, ww] = self.shadow.version[addr[idx]]
+            shw = wr & sh
+            n_sw = int(shw.sum())
+            result.shared_writes += n_sw
+            if n_sw:
+                words = 0
+                for p, idx in self._parts_idx(cols, shw):
+                    words += self._note_shared_writes(p, addr[idx])
+                self._traffic(eng, write_words=words)
+            n_wm = int(wmiss.sum())
+            if n_wm:  # write-allocate fetch, non-blocking for the CPU
+                self._traffic(eng, read_words=n_wm * (1 + self.line_words))
+            elapsed += self._write_latency(eng, n_sw, n_wr - n_sw)
+            if lat_out is not None:
+                lat_out[shw] = self.word_lat if self.seq else self.hit_lat
+                lat_out[wr & ~sh] = self.hit_lat
+        return elapsed
+
+
+class ScBatchKernel(_WriteBufferMixin, _FullBatchKernel):
+    """SC fully in closed form: bypassing reads are fixed-cost word
+    fetches classified against the evolving line state; cached reads hit
+    whenever the line is resident (installed lines are fully valid);
+    misses install with the line's shadow snapshot."""
+
+    def __init__(self, scheme):
+        super().__init__(scheme)
+        self._site_cap = 0
+        self._bypass = np.zeros(0, dtype=bool)
+
+    def _site_table(self, max_site: int):
+        if max_site >= self._site_cap:
+            cap = max_site + 1
+            marking = self.scheme.ctx.marking
+            bypass = np.zeros(cap, dtype=bool)
+            for site, mark in marking.sc.items():
+                if site < cap and mark is RefMark.TIME_READ:
+                    bypass[site] = True
+            self._bypass, self._site_cap = bypass, cap
+        return self._bypass
+
+    def _scan(self, cols):
+        scheme = self.scheme
+        s, line, wd = cols.s, cols.line, cols.wd
+        wr, sh, addr, site = cols.wr, cols.sh, cols.addr, cols.site
+
+        bypass = ~wr & sh & self._site_table(int(site.max()))[site]
+        cached = ~bypass
+        ch = self._set_chains(cols, cached,
+                              ("sc", id(self.scheme.ctx.marking)))
+        ach = self._addr_chains(cols)
+        resident = ch.resident(line, self._gset(self.tags, cols))
+        miss = cached & ~resident  # line miss: install (read or write)
+        fresh = ch.prior_any(miss)
+        wb = ach.prior_any(wr)
+        cver0 = self._gword(self.cver, cols)
+        current = wb | fresh | (cver0 == self.shadow.version[addr])
+        touched = (scheme.touched[cols.procv, addr]
+                   | ach.prior_any(bypass | wr | (miss & ~wr)))
+
+        bad = ch.conflict
+        if self.check:
+            stale = (cached & ~wr & resident & ~wb & ~fresh
+                     & (cver0 < self.shadow.epoch_version[addr]))
+            if stale.any():
+                bad = bad | ch.group_any(stale)
+        ctx = {"bypass": bypass, "miss": miss, "have": resident,
+               "current": current, "touched": touched}
+        return ~bad, ctx
+
+    def _apply(self, eng, cols, ctx, lat_out=None):
+        scheme = self.scheme
+        c = ctx
+        s, wd, wr, sh, addr, line = (cols.s, cols.wd, cols.wr, cols.sh,
+                                     cols.addr, cols.line)
+        bypass, miss = c["bypass"], c["miss"]
+        result = eng.result
+        elapsed = self._work(eng, cols)
+
+        n_by = int(bypass.sum())
+        if n_by:
+            ab = addr[bypass]
+            have = c["have"][bypass]
+            cur = c["current"][bypass]
+            tch = c["touched"][bypass]
+            mc = result.miss_counts
+            for kind, mask in ((MissKind.CONSERVATIVE, have & cur),
+                               (MissKind.TRUE_SHARING, have & ~cur),
+                               (MissKind.REPLACEMENT, ~have & tch),
+                               (MissKind.COLD, ~have & ~tch)):
+                count = int(mask.sum())
+                if count:
+                    mc[kind] = mc.get(kind, 0) + count
+            result.reads += n_by
+            result.shared_reads += n_by
+            cycles = n_by * self.word_lat
+            result.miss_latency_total += cycles
+            result.miss_latency_count += n_by
+            result.breakdown["read_stall"] += cycles
+            self._traffic(eng, read_words=2 * n_by)
+            scheme.touched[cols.procv[bypass], ab] = True
+            elapsed += cycles
+            if lat_out is not None:
+                lat_out[bypass] = self.word_lat
+
+        rmiss = miss & ~wr
+        n_rm = int(rmiss.sum())
+        if n_rm:
+            tch = c["touched"][rmiss]
+            elapsed += self._note_read_misses(
+                eng, n_rm, int(sh[rmiss].sum()),
+                ((MissKind.REPLACEMENT, tch), (MissKind.COLD, ~tch)))
+            scheme.touched[cols.procv[rmiss], addr[rmiss]] = True
+            if lat_out is not None:
+                lat_out[rmiss] = self.miss_lat
+
+        plain = ~wr & ~bypass & ~miss
+        n_pl = int(plain.sum())
+        if n_pl:
+            elapsed += self._note_hits(eng, n_pl, int((plain & sh).sum()))
+            if lat_out is not None:
+                lat_out[plain] = self.hit_lat
+
+        if miss.any():
+            for p, idx in self._parts_idx(cols, miss):
+                self._install_lines(p, s[idx], line[idx])
+
+        n_wr = int(wr.sum())
+        if n_wr:
+            result.writes += n_wr
+            aw = addr[wr]
+            self._bump_shadow(aw, cols.procv[wr])
+            for p, idx in self._parts_idx(cols, wr):
+                sw, ww = s[idx], wd[idx]
+                self.wv[p][sw, ww] = True
+                self.cver[p][sw, ww] = self.shadow.version[addr[idx]]
+            scheme.touched[cols.procv[wr], aw] = True
+            shw = wr & sh
+            n_sw = int(shw.sum())
+            result.shared_writes += n_sw
+            if n_sw:
+                words = 0
+                for p, idx in self._parts_idx(cols, shw):
+                    words += self._note_shared_writes(p, addr[idx])
+                self._traffic(eng, write_words=words)
+            n_wm = int((miss & wr).sum())
+            if n_wm:  # write-allocate fetch, non-blocking for the CPU
+                self._traffic(eng, read_words=n_wm * (1 + self.line_words))
+            elapsed += self._write_latency(eng, n_sw, n_wr - n_sw)
+            if lat_out is not None:
+                lat_out[shw] = self.word_lat if self.seq else self.hit_lat
+                lat_out[wr & ~sh] = self.hit_lat
+        return elapsed
+
+
+class DirectoryBatchKernel(_FullBatchKernel):
+    """HW directory: hits, silent exclusive writes, and fills are
+    vectorized; misses and S->E upgrades run through a compact in-order
+    loop that performs only the *protocol* side (directory transitions,
+    remote invalidations, classification, traffic/latency) and reuses the
+    scheme's own helpers, so LimitLess traps and the Tullsen-Eggers
+    criterion stay exact.
+
+    Cold-span planning makes the loop safe: any remote holder that could
+    evict or observe a cold line within the epoch forces a plan-level
+    fallback, so the remote-cache mutations the loop performs
+    (invalidations, owner demotions) commute with everything batched.  In
+    an unpoisoned set all events address one line, so the set's first
+    event is its only possible miss and the pre-window occupant/dirty
+    gathers are exact at miss time.  The directory dict is mirrored into
+    flat state/owner arrays so the E-self test is a gather; the mirror is
+    refreshed after loop events and rebuilt after fallback epochs."""
+
+    def __init__(self, scheme):
+        super().__init__(scheme)
+        n_lines = -(-self.shadow.total_words // self.line_words)
+        self.dir_state = np.zeros(n_lines, dtype=np.int8)  # 0 U/absent, 1 S, 2 E
+        self.dir_owner = np.full(n_lines, -1, dtype=np.int32)
+        self.ctrl_lat = 0
+        self.resync()
+
+    _STATE_CODE = {"U": 0, "S": 1, "E": 2}
+
+    def begin_epoch(self) -> None:
+        super().begin_epoch()
+        self.ctrl_lat = self.network.control_latency()
+        if self._mirror_stale:
+            self._rebuild_mirror()
+
+    def resync(self) -> None:
+        # The mirror is only read inside batched epochs, so consecutive
+        # fallback epochs coalesce into one rebuild at the next
+        # ``begin_epoch``.
+        self._mirror_stale = True
+
+    def _rebuild_mirror(self) -> None:
+        self.dir_state[:] = 0
+        self.dir_owner[:] = -1
+        for line, entry in self.scheme.directory.items():
+            self.dir_state[line] = self._STATE_CODE[entry.state]
+            self.dir_owner[line] = entry.owner
+        self._mirror_stale = False
+
+    def _refresh_line(self, line: int) -> None:
+        entry = self.scheme.directory.get(line)
+        if entry is None:
+            self.dir_state[line] = 0
+            self.dir_owner[line] = -1
+        else:
+            self.dir_state[line] = self._STATE_CODE[entry.state]
+            self.dir_owner[line] = entry.owner
+
+    def boundary(self, eng, proc, ta, i):
+        s = int(ta.set_[i])
+        line = int(ta.line[i])
+        previous = int(self.tags[proc][s])
+        latency = eng._exec_event(proc, ta.events[i])
+        self._refresh_line(line)
+        if previous >= 0 and previous != line:
+            self._refresh_line(previous)  # evicted occupant's entry moved
+        return latency
+
+    def _scan(self, cols):
+        s, line, wd = cols.s, cols.line, cols.wd
+        wr, sh, addr = cols.wr, cols.sh, cols.addr
+
+        ch = self._set_chains(cols, None, "hold")  # every access holds
+        tags0 = self._gset(self.tags, cols)
+        resident = ch.resident(line, tags0)
+        miss = ~resident
+        # Any earlier shared write to the line left it write-exclusive to
+        # us (write miss and upgrade both end in E/self; E-self hits stay).
+        e_self = ((self.dir_state[line] == 2)
+                  & (self.dir_owner[line] == cols.procv)
+                  ) | ch.prior_any(wr & sh)
+        upgrade = wr & sh & resident & ~e_self
+
+        bad = ch.conflict
+        if self.check:
+            # MSI reads must observe the exact current version: fills and
+            # same-address writes refetch it, anything else must compare
+            # equal or the whole set goes to the exact path so the oracle
+            # fires against true state.
+            fresh = self._prior_addr(cols, wr) | ch.prior_any(miss)
+            stale = (~wr & sh & resident & ~fresh
+                     & (self._gword(self.cver, cols)
+                        != self.shadow.version[addr]))
+            if stale.any():
+                bad = bad | ch.group_any(stale)
+
+        ctx = {"miss": miss, "upgrade": upgrade,
+               "occ0": tags0, "dirty0": self._gset(self.dirty, cols)}
+        return ~bad, ctx
+
+    def _apply(self, eng, cols, ctx, lat_out=None):
+        c = ctx
+        s, wd, wr, sh, addr = cols.s, cols.wd, cols.wr, cols.sh, cols.addr
+        line = cols.line
+        miss, upgrade = c["miss"], c["upgrade"]
+        result = eng.result
+        bd = result.breakdown
+        elapsed = self._work(eng, cols)
+
+        rd = ~wr
+        rhit = rd & ~miss
+        n_rh = int(rhit.sum())
+        if n_rh:
+            elapsed += self._note_hits(eng, n_rh, int((rhit & sh).sum()))
+            if lat_out is not None:
+                lat_out[rhit] = self.hit_lat
+
+        if miss.any():
+            # Vector side of the fills: a fill resets the whole line's
+            # used/dirty/validity and snapshots its shadow versions (taken
+            # before this window's bumps — no write can precede its own
+            # set's miss).  The protocol side runs in the loop below.
+            for p, idx in self._parts_idx(cols, miss):
+                su = s[idx]
+                self.used[p][su] = False
+                self.dirty[p][su] = False
+                self._install_lines(p, su, line[idx])
+        for p, lo, hi in cols.parts:  # every HW access marks its word
+            self.used[p][s[lo:hi], wd[lo:hi]] = True
+
+        n_wr = int(wr.sum())
+        if n_wr:
+            result.writes += n_wr
+            result.shared_writes += int((wr & sh).sum())
+            self._bump_shadow(addr[wr], cols.procv[wr])
+            for p, idx in self._parts_idx(cols, wr):
+                sw = s[idx]
+                self.dirty[p][sw] = True
+                self.cver[p][sw, wd[idx]] = self.shadow.version[addr[idx]]
+            # Private and exclusive-owned write hits are silent: hit
+            # latency, no traffic, no directory motion.  Misses and
+            # upgrades get their latency from the loop.
+            silent = wr & ~miss & ~upgrade
+            n_silent = int(silent.sum())
+            cycles = n_silent * self.hit_lat
+            bd["busy"] += cycles
+            elapsed += cycles
+            if lat_out is not None:
+                lat_out[silent] = self.hit_lat
+
+        slow = miss | upgrade
+        if slow.any():
+            elapsed += self._slow_events(eng, cols, c, slow, lat_out)
+        return elapsed
+
+    def _slow_events(self, eng, cols, c, slow, lat_out=None) -> int:
+        """Misses and upgrades, in execution order per processor:
+        directory transitions, remote invalidations, classification, and
+        latency/traffic — the cache-array effects are already applied
+        vectorized.  Slow events of distinct processors in one merged
+        window commute (cold-span planning guarantees no remote holder of
+        a slow line evicts or observes it this epoch), so iterating part
+        by part preserves the reference outcome."""
+        scheme = self.scheme
+        result = eng.result
+        bd = result.breakdown
+        mc = result.miss_counts
+        lw = self.line_words
+        hit_lat = self.hit_lat
+        elapsed = 0
+        rw = wwt = cw = 0
+        touched_lines = set()
+        wr, sh, line, wd = cols.wr, cols.sh, cols.line, cols.wd
+        occ0, dirty0, upgrade = c["occ0"], c["dirty0"], c["upgrade"]
+        for proc, idx in self._parts_idx(cols, slow):
+            seen = scheme.seen_lines[proc]
+            cache = scheme.caches[proc]
+            for i in idx.tolist():
+                ln = int(line[i])
+                word = int(wd[i])
+                shd = bool(sh[i])
+                touched_lines.add(ln)
+                if upgrade[i]:
+                    inval = scheme._invalidate_sharers(ln, word, skip=proc)
+                    cw += inval.coherence_words + 2  # upgrade round trip
+                    lat = hit_lat + inval.latency
+                    if self.seq:  # wait for the grant + acks
+                        lat += self.ctrl_lat
+                    entry = scheme.directory[ln]
+                    entry.state = "E"
+                    entry.owner = proc
+                    entry.sharers = {proc}
+                    if lat > hit_lat:
+                        bd["write_stall"] += lat
+                    else:
+                        bd["busy"] += lat
+                    if lat_out is not None:
+                        lat_out[i] = lat
+                    elapsed += lat
+                    continue
+                # A miss: evict the pre-window occupant, fetch the line.
+                res = AccessResult(latency=0, kind=MissKind.HIT)
+                evicted = int(occ0[i]) if occ0[i] >= 0 else None
+                if evicted is not None:
+                    touched_lines.add(evicted)
+                scheme._evict(cache, proc, evicted, bool(dirty0[i]), res)
+                rw += res.read_words + 1 + lw  # the fill
+                wwt += res.write_words
+                cw += res.coherence_words
+                seen_line = ln in seen
+                if not wr[i]:
+                    if shd:
+                        kind = scheme._miss_kind(proc, ln)
+                        lat = self.miss_lat
+                        entry = scheme._entry(ln)
+                        if entry.state == "E" and entry.owner != proc:
+                            # 4-hop: the dirty owner supplies the data and
+                            # writes back; both copies become read-shared.
+                            owner_cache = scheme.caches[entry.owner]
+                            owner_loc = owner_cache.probe(ln)
+                            if owner_loc is None:
+                                raise ProtocolError(
+                                    f"directory owner {entry.owner} of line "
+                                    f"{ln} has no cached copy")
+                            owner_cache.dirty[owner_loc.set_index,
+                                              owner_loc.way] = False
+                            lat += self.ctrl_lat
+                            cw += 2 + lw  # forward + write-back data
+                            entry.sharers = {entry.owner}
+                            entry.owner = -1
+                            entry.state = "S"
+                        entry.sharers.add(proc)
+                        if entry.state == "U":
+                            entry.state = "S"
+                    else:
+                        kind = (MissKind.REPLACEMENT if seen_line
+                                else MissKind.COLD)
+                        lat = self.miss_lat
+                    seen.add(ln)
+                    result.reads += 1
+                    if shd:
+                        result.shared_reads += 1
+                    mc[kind] = mc.get(kind, 0) + 1
+                    result.miss_latency_total += lat
+                    result.miss_latency_count += 1
+                    bd["read_stall"] += lat
+                    if lat_out is not None:
+                        lat_out[i] = lat
+                    elapsed += lat
+                else:
+                    lat = hit_lat
+                    if shd:
+                        scheme._miss_kind(proc, ln)  # consumes inval_reason
+                    seen.add(ln)
+                    if shd:
+                        entry = scheme._entry(ln)
+                        if entry.state == "E" and entry.owner != proc:
+                            owner = entry.owner
+                            owner_cache = scheme.caches[owner]
+                            owner_loc = owner_cache.probe(ln)
+                            if owner_loc is None:
+                                raise ProtocolError(
+                                    f"directory owner {owner} of line {ln} "
+                                    "has no cached copy")
+                            used_word = bool(owner_cache.used[
+                                owner_loc.set_index, owner_loc.way, word])
+                            reason = (_REASON_TRUE if used_word
+                                      else _REASON_FALSE)
+                            scheme.inval_reason[owner][ln] = reason
+                            scheme.invalidations_sent += 1
+                            if reason == _REASON_FALSE:
+                                scheme.false_invalidations += 1
+                            owner_cache.invalidate_line(owner_loc)
+                            cw += 2 + lw
+                        elif entry.state == "S":
+                            inval = scheme._invalidate_sharers(ln, word,
+                                                               skip=proc)
+                            cw += inval.coherence_words
+                            lat += inval.latency
+                        if self.seq:  # the exclusive fetch stalls the CPU
+                            lat += self.miss_lat
+                        entry.state = "E"
+                        entry.owner = proc
+                        entry.sharers = {proc}
+                    if lat > hit_lat:
+                        bd["write_stall"] += lat
+                    else:
+                        bd["busy"] += lat
+                    if lat_out is not None:
+                        lat_out[i] = lat
+                    elapsed += lat
+        self._traffic(eng, read_words=rw, write_words=wwt,
+                      coherence_words=cw)
+        for ln in touched_lines:
+            self._refresh_line(ln)
+        return elapsed
+
+
+class UpdateBatchKernel(_BatchKernel):
+    """Write-update directory: read hits batch like HW; write hits batch
+    with their per-write broadcast traffic computed in closed form from
+    the (span-constant) sharer sets."""
+
+    def _scan(self, proc, ta, lo, hi):
+        s = ta.set_[lo:hi]
+        line = ta.line[lo:hi]
+        wd = ta.word[lo:hi]
+        wr = ta.is_write[lo:hi]
+        sh = ta.shared[lo:hi]
+        addr = ta.addr[lo:hi]
+
+        resident = self.tags[proc][s] == line
+        read_ok = resident
+        if self.check:
+            written_before = prior_same_addr(addr, wr)
+            read_ok = read_ok & (~sh | written_before | (
+                self.cver[proc][s, wd] >= self.shadow.epoch_version[addr]))
+        ok = np.where(wr, resident, read_ok)
+        ctx = {"s": s, "wd": wd, "wr": wr, "sh": sh, "addr": addr,
+               "line": line}
+        return ok, ctx
+
+    def _apply(self, eng, proc, ta, lo, a, b, ctx):
+        scheme = self.scheme
+        s = ctx["s"][a:b]
+        wd = ctx["wd"][a:b]
+        wr = ctx["wr"][a:b]
+        sh = ctx["sh"][a:b]
+        addr = ctx["addr"][a:b]
+        result = eng.result
+        elapsed = self._charge_work(eng, ta, lo + a, b - a)
+
+        rd = ~wr
+        n_rd = int(rd.sum())
+        if n_rd:
+            elapsed += self._note_hits(eng, n_rd, int((rd & sh).sum()))
+
+        n_wr = (b - a) - n_rd
+        if n_wr:
+            result.writes += n_wr
+            aw = addr[wr]
+            self._bump_shadow(aw, proc)
+            self.cver[proc][s[wr], wd[wr]] = self.shadow.version[aw]
+            scheme.total_writes += n_wr
+            shw = wr & sh
+            n_sw = int(shw.sum())
+            result.shared_writes += n_sw
+            if n_sw:
+                if scheme.coalescing:
+                    self._coalesce(proc, addr[shw])
+                else:
+                    self._traffic(eng, write_words=self._broadcast(
+                        proc, addr[shw], ctx["line"][a:b][shw]))
+            elapsed += self._write_latency(eng, n_sw, n_wr - n_sw)
+        return elapsed
+
+    def _coalesce(self, proc: int, addrs: np.ndarray) -> None:
+        scheme = self.scheme
+        pending = scheme.pending[proc]
+        uniq, counts = np.unique(addrs, return_counts=True)
+        for a, c in zip(uniq.tolist(), counts.tolist()):
+            if a in pending:
+                scheme.merged_writes += c
+            else:
+                pending.add(a)
+                scheme.merged_writes += c - 1
+
+    def _broadcast(self, proc: int, addrs: np.ndarray,
+                   lines: np.ndarray) -> int:
+        """FIFO broadcasts: per write, the memory update plus one update
+        message per other sharer; remote copies are patched to the word's
+        final version (a span's intermediate values are unobservable —
+        any processor reading the line this epoch would have made it hot).
+        """
+        scheme = self.scheme
+        n_sets = self.machine.cache.n_sets
+        line_words = self.line_words
+        words = 0
+        uniq, counts = np.unique(addrs, return_counts=True)
+        uniq_lines = np.unique(lines)
+        sharer_map = {int(line): sorted(scheme.sharers.get(int(line), ()))
+                      for line in uniq_lines}
+        for a, c in zip(uniq.tolist(), counts.tolist()):
+            line = a // line_words
+            word = a % line_words
+            holders = sharer_map[line]
+            others = sum(1 for q in holders if q != proc)
+            words += c * (WRITE_MESSAGE_WORDS + 2 * others)
+            scheme.updates_sent += c * others
+            version = int(self.shadow.version[a])
+            set_index = line % n_sets
+            for q in holders:
+                if self.tags[q][set_index] != line:
+                    raise ProtocolError(
+                        f"update: sharer {q} of line {line} has no copy")
+                self.cver[q][set_index, word] = version
+        return words
+
+
+__all__ = ["BaseBatchKernel", "DirectoryBatchKernel", "ScBatchKernel",
+           "TpiBatchKernel", "UpdateBatchKernel", "prior_same_addr"]

@@ -42,6 +42,27 @@ class DirEntry:
 
 class FullMapDirectoryScheme(CoherenceScheme):
     name = "hw"
+    batch_hot_rule = "directory"
+    batch_evict_coupled = True
+
+    def extras(self) -> Dict[str, int]:
+        return {"invalidations_sent": self.invalidations_sent,
+                "false_invalidations": self.false_invalidations}
+
+    def directory_hot_lines(self, lines):
+        """Lines in state E are order-sensitive even read-read: the first
+        reader pays the 4-hop owner forward and demotes the entry."""
+        out = []
+        for line_addr in lines:
+            entry = self.directory.get(int(line_addr))
+            if entry is not None and entry.state == "E":
+                out.append(int(line_addr))
+        return out
+
+    def make_batch_kernel(self):
+        from repro.coherence.batch import DirectoryBatchKernel
+
+        return DirectoryBatchKernel.build(self)
 
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)

@@ -22,6 +22,11 @@ class LimitLessScheme(FullMapDirectoryScheme):
         self.trap_cycles = ctx.machine.directory.overflow_trap_cycles
         self.software_traps = 0
 
+    def extras(self):
+        out = super().extras()
+        out["software_traps"] = self.software_traps
+        return out
+
     def _overflow_penalty(self, n_sharers: int) -> int:
         if n_sharers > self.pointers:
             self.software_traps += 1

@@ -20,11 +20,12 @@ from repro.common.config import ConsistencyModel
 from repro.common.stats import MissKind
 from repro.compiler.marking import RefMark
 from repro.memsys.cache import Cache
-from repro.memsys.wbuffer import make_write_buffer
+from repro.memsys.wbuffer import make_write_buffer, wbuffer_extras
 
 
 class SoftwareBypassScheme(CoherenceScheme):
     name = "sc"
+    batch_hot_rule = "written"
 
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)
@@ -44,6 +45,14 @@ class SoftwareBypassScheme(CoherenceScheme):
         words = self.wbuffers[proc].drain()
         return AccessResult(latency=self.network.control_latency() + words,
                             kind=MissKind.HIT, write_words=words)
+
+    def extras(self) -> Dict[str, int]:
+        return wbuffer_extras(self.wbuffers)
+
+    def make_batch_kernel(self):
+        from repro.coherence.batch import ScBatchKernel
+
+        return ScBatchKernel.build(self)
 
     # -------------------------------------------------------------- accesses
 

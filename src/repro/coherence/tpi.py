@@ -61,11 +61,12 @@ from repro.common.errors import SimulationError
 from repro.common.stats import MissKind
 from repro.compiler.marking import RefMark
 from repro.memsys.cache import Cache
-from repro.memsys.wbuffer import make_write_buffer
+from repro.memsys.wbuffer import make_write_buffer, wbuffer_extras
 
 
 class TpiScheme(CoherenceScheme):
     name = "tpi"
+    batch_hot_rule = "written"
 
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)
@@ -139,6 +140,18 @@ class TpiScheme(CoherenceScheme):
         latency = self.network.control_latency() + words
         return AccessResult(latency=latency, kind=MissKind.HIT,
                             write_words=words)
+
+    def extras(self) -> Dict[str, int]:
+        out = {"time_reads": self.time_reads,
+               "time_read_hits": self.time_read_hits,
+               "strict_reads": self.strict_reads}
+        out.update(wbuffer_extras(self.wbuffers))
+        return out
+
+    def make_batch_kernel(self):
+        from repro.coherence.batch import TpiBatchKernel
+
+        return TpiBatchKernel.build(self)
 
     # -------------------------------------------------------------- accesses
 

@@ -39,6 +39,20 @@ from repro.memsys.wbuffer import WRITE_MESSAGE_WORDS
 
 class UpdateDirectoryScheme(CoherenceScheme):
     name = "update"
+    batch_hot_rule = "written"
+    batch_evict_coupled = True
+
+    def extras(self) -> Dict[str, int]:
+        out = {"updates_sent": self.updates_sent,
+               "buffered_writes": self.total_writes}
+        if self.merged_writes:
+            out["merged_writes"] = self.merged_writes
+        return out
+
+    def make_batch_kernel(self):
+        from repro.coherence.batch import UpdateBatchKernel
+
+        return UpdateBatchKernel.build(self)
 
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)

@@ -69,6 +69,15 @@ class CoalescingWriteBuffer:
         return words
 
 
+def wbuffer_extras(wbuffers) -> dict:
+    """The shared `SimResult.extra` counters of a per-processor buffer bank."""
+    out = {"buffered_writes": sum(wb.total_writes for wb in wbuffers)}
+    merged = sum(getattr(wb, "merged_writes", 0) for wb in wbuffers)
+    if merged:
+        out["merged_writes"] = merged
+    return out
+
+
 def make_write_buffer(kind: WriteBufferKind):
     if kind is WriteBufferKind.FIFO:
         return FifoWriteBuffer()

@@ -36,7 +36,7 @@ from repro.common.errors import SimulationError
 from repro.runtime.cache import ArtifactCache, KIND_PREPARED, KIND_RESULT
 from repro.runtime.jobs import Job
 from repro.runtime.telemetry import JobRecord, Telemetry
-from repro.sim.engine import Engine
+from repro.sim.engine import make_engine
 from repro.sim.metrics import SimResult
 from repro.sim.runner import PreparedRun, prepare
 
@@ -105,15 +105,15 @@ def _simulate_entries(prepared: PreparedRun,
             out.append((index, computed[result_key]))
             continue
         started = time.perf_counter()
-        result = Engine(prepared.trace, prepared.marking, prepared.machine,
-                        scheme).run()
+        result = make_engine(prepared.trace, prepared.marking,
+                             prepared.machine, scheme).run()
         computed[result_key] = result
         if cache is not None:
             cache.store(KIND_RESULT, result_key, result)
         stats["records"].append({
             "label": label, "scheme": scheme, "fingerprint": result_key[:12],
             "wall_s": time.perf_counter() - started, "source": "computed",
-            "worker": os.getpid()})
+            "engine": result.engine, "worker": os.getpid()})
         out.append((index, result))
     return out
 

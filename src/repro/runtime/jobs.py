@@ -83,13 +83,22 @@ class Job:
     _prepare_key: Optional[str] = field(default=None, repr=False, compare=False)
 
     def canonical(self) -> Dict[str, Any]:
-        """The hashed identity (program by digest, configs flattened)."""
+        """The hashed identity (program by digest, configs flattened).
+
+        ``machine.engine`` is deliberately stripped: the fast and reference
+        engines are differentially tested to produce bit-identical results,
+        so they may share cached artifacts — which engine actually produced
+        a cached ``SimResult`` is recorded on the artifact itself
+        (``SimResult.engine``), not in its key.
+        """
         from repro.runtime.cache import cache_salt
 
+        machine = _plain(self.machine)
+        machine.pop("engine", None)
         return {
             "salt": cache_salt(),
             "program": self.digest,
-            "machine": _plain(self.machine),
+            "machine": machine,
             "params": _plain(self.params or {}),
             "opts": _plain(self.opts or MarkingOptions()),
             "migration": _plain(self.migration or MigrationSpec()),

@@ -35,6 +35,7 @@ class JobRecord:
     fingerprint: str
     wall_s: float = 0.0
     source: str = "computed"  # computed | cache | retried
+    engine: str = ""  # which simulation engine produced the result
     worker: int = 0  # pid of the executing process (parent pid if serial)
 
 

@@ -1,8 +1,9 @@
-"""Execution-driven simulator: engine, metrics, and the one-call runner."""
+"""Execution-driven simulator: engines, metrics, and the one-call runner."""
 
 from repro.sim.metrics import SimResult
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, make_engine, resolve_engine
+from repro.sim.fastengine import FastEngine
 from repro.sim.runner import PreparedRun, prepare, simulate, simulate_all
 
-__all__ = ["Engine", "PreparedRun", "SimResult", "prepare", "simulate",
-           "simulate_all"]
+__all__ = ["Engine", "FastEngine", "PreparedRun", "SimResult", "make_engine",
+           "prepare", "resolve_engine", "simulate", "simulate_all"]

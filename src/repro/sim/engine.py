@@ -44,6 +44,8 @@ class _LockState:
 class Engine:
     """Drives one trace through one coherence scheme."""
 
+    engine_name = "reference"
+
     def __init__(self, trace: Trace, marking: Marking, machine: MachineConfig,
                  scheme_name: str):
         if trace.layout is None:
@@ -69,6 +71,7 @@ class Engine:
         self.result.exec_cycles = global_time
         self.result.epochs = len(self.trace.epochs)
         self.result.final_network_load = self.network.rho
+        self.result.engine = self.engine_name
         self._collect_scheme_extras()
         return self.result
 
@@ -216,28 +219,39 @@ class Engine:
         return end_time
 
     def _collect_scheme_extras(self) -> None:
-        scheme = self.scheme
-        if hasattr(scheme, "resets"):
-            self.result.resets = scheme.resets
-            self.result.reset_invalidations = scheme.reset_invalidations
-        if hasattr(scheme, "time_reads"):
-            self.result.extra["time_reads"] = scheme.time_reads
-            self.result.extra["time_read_hits"] = scheme.time_read_hits
-            self.result.extra["strict_reads"] = scheme.strict_reads
-        if hasattr(scheme, "invalidations_sent"):
-            self.result.extra["invalidations_sent"] = scheme.invalidations_sent
-            self.result.extra["false_invalidations"] = scheme.false_invalidations
-        if hasattr(scheme, "software_traps"):
-            self.result.extra["software_traps"] = scheme.software_traps
-        if hasattr(scheme, "updates_sent"):
-            self.result.extra["updates_sent"] = scheme.updates_sent
-            self.result.extra["buffered_writes"] = scheme.total_writes
-            if scheme.merged_writes:
-                self.result.extra["merged_writes"] = scheme.merged_writes
-        if hasattr(scheme, "wbuffers"):
-            self.result.extra["buffered_writes"] = sum(
-                wb.total_writes for wb in scheme.wbuffers)
-            merged = sum(getattr(wb, "merged_writes", 0)
-                         for wb in scheme.wbuffers)
-            if merged:
-                self.result.extra["merged_writes"] = merged
+        self.result.resets = self.scheme.resets
+        self.result.reset_invalidations = self.scheme.reset_invalidations
+        self.result.extra.update(self.scheme.extras())
+
+
+DEFAULT_ENGINE = "fast"
+ENGINE_NAMES = ("fast", "reference")
+
+
+def resolve_engine(machine: MachineConfig) -> str:
+    """Resolve a machine's ``engine`` field to a concrete engine name.
+
+    ``"auto"`` defers to the ``REPRO_ENGINE`` environment variable and
+    then to :data:`DEFAULT_ENGINE`; the two engines are differentially
+    tested to produce bit-identical results (tests/test_engine_parity.py),
+    so the choice affects wall-clock only.
+    """
+    import os
+
+    choice = machine.engine
+    if choice == "auto":
+        choice = os.environ.get("REPRO_ENGINE", "") or DEFAULT_ENGINE
+    if choice not in ENGINE_NAMES:
+        raise SimulationError(
+            f"unknown engine {choice!r}; choose from {ENGINE_NAMES} or 'auto'")
+    return choice
+
+
+def make_engine(trace: Trace, marking: Marking, machine: MachineConfig,
+                scheme_name: str) -> Engine:
+    """Instantiate the engine selected by ``machine.engine``/``REPRO_ENGINE``."""
+    if resolve_engine(machine) == "fast":
+        from repro.sim.fastengine import FastEngine
+
+        return FastEngine(trace, marking, machine, scheme_name)
+    return Engine(trace, marking, machine, scheme_name)

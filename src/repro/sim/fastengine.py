@@ -1,0 +1,452 @@
+"""The batched simulation engine.
+
+The reference :class:`~repro.sim.engine.Engine` advances one event at a
+time through a global heap so that cross-processor protocol interactions
+happen in a deterministic timing-dependent order.  Most events need no
+such ordering: within an epoch the network latencies are constant (rho
+only moves at the barrier) and most lines are touched by a single
+processor, so their accesses commute with everything another processor
+does.  This engine exploits that:
+
+* Each epoch's lines are split into **hot** — order-sensitive across
+  processors under the scheme's :attr:`~repro.coherence.api.
+  CoherenceScheme.batch_hot_rule` — and **cold** (everything else).
+* Hot events replay through exactly the reference heap discipline, with
+  identical keys ``(clock, proc, rank, idx)``, so their global order — and
+  therefore every directory transition, invalidation count, and
+  classification — is bit-identical to the reference engine.
+* Each task's cold events run eagerly between its hot events, in program
+  order, as numpy-batched spans (:mod:`repro.coherence.batch`) when the
+  scheme provides a kernel, or through the ordinary per-event scheme
+  methods otherwise.  Either way each event runs the same state
+  transitions as under the reference engine; only the interleaving
+  *between* processors differs, exactly where it is provably
+  unobservable.
+
+Epochs the analysis cannot clear — synchronization (locks / critical
+sections), a scheme with no declared hot rule, or an eviction-coupled
+scheme whose replacements might touch another processor's lines — fall
+back wholesale to the reference ``_run_epoch``, so correctness never
+depends on the batching being profitable.
+
+Differential parity with the reference engine over every workload,
+scheme, and a hypothesis-randomized program space is enforced by
+tests/test_engine_parity.py; speedups are tracked in BENCH_engine.json
+(see docs/PERF.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.coherence.batch import _Cols
+from repro.sim.engine import Engine
+from repro.sim.metrics import EpochRecord
+from repro.trace.events import EventKind
+
+
+class _TaskArrays:
+    """Columnar view of one task's events (geometry-resolved)."""
+
+    __slots__ = ("events", "n", "addr", "site", "work", "shared", "is_write",
+                 "line", "set_", "word", "uniq_lines", "uniq_sets")
+
+    def __init__(self, task, line_words: int, n_sets: int):
+        events = task.events
+        n = len(events)
+        self.events = events
+        self.n = n
+        self.addr = np.fromiter((e.addr for e in events), np.int64, n)
+        self.site = np.fromiter((e.site for e in events), np.int64, n)
+        self.work = np.fromiter((e.work for e in events), np.int64, n)
+        self.shared = np.fromiter((e.shared for e in events), bool, n)
+        self.is_write = np.fromiter(
+            (e.kind is EventKind.WRITE for e in events), bool, n)
+        self.line = self.addr // line_words
+        self.set_ = self.line % n_sets
+        self.word = self.addr - self.line * line_words
+        self.uniq_lines = np.unique(self.line)
+        self.uniq_sets = np.unique(self.set_)
+
+
+class _EpochBatch:
+    """Trace-static batching analysis of one epoch, cached on the epoch
+    (``TraceEpoch._batch``) and shared by every scheme simulated over the
+    trace in-process.  Everything here depends only on the event stream
+    and the cache geometry — never on runtime protocol state."""
+
+    __slots__ = ("geometry", "has_sync", "tasks", "multi_lines",
+                 "hot_written", "static_masks", "static_idx", "other_lines",
+                 "preapply_cache")
+
+    def __init__(self, epoch, line_words: int, n_sets: int):
+        self.geometry = (line_words, n_sets)
+        # Hot-rule keyed cache of the merged pre-apply window (or a bail
+        # marker); shared across schemes and repeated simulations.
+        self.preapply_cache = {}
+        self.has_sync = any(
+            e.kind is EventKind.LOCK or e.kind is EventKind.UNLOCK
+            or e.in_critical
+            for task in epoch.tasks for e in task.events)
+        if self.has_sync:
+            # Sync epochs always fall back; never pay for columnar views.
+            self.tasks = []
+            return
+        self.tasks = [_TaskArrays(task, line_words, n_sets)
+                      for task in epoch.tasks]
+        # Lines touched by two or more tasks this epoch.
+        all_lines = (np.concatenate([ta.uniq_lines for ta in self.tasks])
+                     if self.tasks else np.zeros(0, dtype=np.int64))
+        uniq, counts = np.unique(all_lines, return_counts=True)
+        self.multi_lines = uniq[counts >= 2]
+        written = [ta.line[ta.is_write] for ta in self.tasks]
+        written_all = (np.unique(np.concatenate(written)) if written
+                       else np.zeros(0, dtype=np.int64))
+        # The "written" hot rule: multi-touched AND written this epoch.
+        self.hot_written = np.intersect1d(self.multi_lines, written_all,
+                                          assume_unique=True)
+        self.static_masks = [np.isin(ta.line, self.hot_written)
+                             for ta in self.tasks]
+        self.static_idx = [np.flatnonzero(m) for m in self.static_masks]
+        # For the eviction pre-check: lines any *other* task touches.
+        self.other_lines = []
+        for rank in range(len(self.tasks)):
+            rest = [ta.uniq_lines for r, ta in enumerate(self.tasks)
+                    if r != rank]
+            self.other_lines.append(
+                np.unique(np.concatenate(rest)) if rest
+                else np.zeros(0, dtype=np.int64))
+
+
+_NO_HOT = np.zeros(0, dtype=np.int64)
+_MISS = object()
+
+
+class FastEngine(Engine):
+    """Drop-in engine with batched cold spans; bit-identical results."""
+
+    engine_name = "fast"
+
+    def __init__(self, trace, marking, machine, scheme_name):
+        super().__init__(trace, marking, machine, scheme_name)
+        self._kernel = self.scheme.make_batch_kernel()
+        self._epoch_words = 0
+        self._plan_key = "none"
+
+    # ------------------------------------------------------------ planning
+
+    def _plan_epoch(self, epoch) -> Optional[List[np.ndarray]]:
+        """Per-task hot-event index arrays, or ``None`` to fall back."""
+        rule = self.scheme.batch_hot_rule
+        if rule is None:
+            return None
+        cache_cfg = self.machine.cache
+        geometry = (cache_cfg.line_words, cache_cfg.n_sets)
+        batch = epoch._batch
+        if batch is None or batch.geometry != geometry:
+            batch = _EpochBatch(epoch, *geometry)
+            epoch._batch = batch
+        if batch.has_sync:
+            return None
+
+        if rule == "none":
+            hot_masks = None
+            hot_idx = [_NO_HOT] * len(batch.tasks)
+            self._plan_key = "none"
+        elif rule == "written":
+            hot_masks = batch.static_masks
+            hot_idx = batch.static_idx
+            self._plan_key = "written"
+        elif rule == "directory":
+            extra = self.scheme.directory_hot_lines(batch.multi_lines)
+            if len(extra):
+                extra = np.asarray(sorted(extra), dtype=np.int64)
+                # Deterministic replay revisits the same directory states,
+                # so identical extras recur across repeated simulations —
+                # key the partition (and downstream pre-apply window) by
+                # their content.
+                self._plan_key = ("dir", extra.tobytes())
+                cached = batch.preapply_cache.get(("plan", self._plan_key))
+                if cached is not None:
+                    hot_masks, hot_idx = cached
+                else:
+                    hot_masks = [mask | np.isin(ta.line, extra)
+                                 for mask, ta in zip(batch.static_masks,
+                                                     batch.tasks)]
+                    hot_idx = [np.flatnonzero(m) for m in hot_masks]
+                    batch.preapply_cache[("plan", self._plan_key)] = (
+                        hot_masks, hot_idx)
+            else:
+                hot_masks = batch.static_masks
+                hot_idx = batch.static_idx
+                self._plan_key = "written"
+        else:  # pragma: no cover - unknown rule: always safe to fall back
+            return None
+
+        if self.scheme.batch_evict_coupled:
+            # Evictions mutate shared protocol state (directory entries,
+            # sharer sets) and so must happen in the reference order unless
+            # provably private.  Hot-event evictions do: they replay at the
+            # reference heap keys, and within a task the occupant of a set
+            # at a hot event's turn is fixed by program order plus heap-
+            # ordered remote invalidations.  The hazard is an eagerly-timed
+            # *cold* miss evicting a line another processor interacts with
+            # this epoch.
+            if cache_cfg.associativity != 1:
+                # No kernel runs here anyway; victim choice is LRU-timing-
+                # dependent, so just take the exact path.
+                return None
+            caches = self.scheme.caches
+            for rank, (task, ta) in enumerate(zip(epoch.tasks, batch.tasks)):
+                other = batch.other_lines[rank]
+                if not len(other):
+                    continue
+                # 1. Epoch-start occupants a cold miss would displace.
+                occ = caches[task.proc].tags[ta.set_, 0]
+                risk = (occ >= 0) & (occ != ta.line)
+                if hot_masks is not None:
+                    risk &= ~hot_masks[rank]
+                if risk.any() and np.isin(occ[risk], other).any():
+                    return None
+                # 2. Mid-epoch installs: if a set holds two or more of this
+                #    task's distinct lines and any of them is foreign-
+                #    touched, a later cold miss could displace a freshly
+                #    installed foreign-touched (or heap-timed hot) line.
+                foreign = np.isin(ta.line, other)
+                if foreign.any():
+                    pairs = np.unique((ta.set_ << 32) | ta.line)
+                    pair_sets = pairs >> 32
+                    dup_sets = pair_sets[1:][pair_sets[1:] == pair_sets[:-1]]
+                    if dup_sets.size and np.isin(
+                            ta.set_[foreign], dup_sets).any():
+                        return None
+        return hot_idx
+
+    # ------------------------------------------------------------- epochs
+
+    def _run_epoch(self, epoch, global_time: int) -> int:
+        hot_idx = self._plan_epoch(epoch)
+        if hot_idx is None:
+            end_time = super()._run_epoch(epoch, global_time)
+            if self._kernel is not None:
+                self._kernel.resync()
+            return end_time
+        return self._run_epoch_fast(epoch, global_time, hot_idx)
+
+    def _run_epoch_fast(self, epoch, global_time: int,
+                        hot_idx: List[np.ndarray]) -> int:
+        machine = self.machine
+        result = self.result
+        breakdown = result.breakdown
+        stalls = self.scheme.begin_epoch(epoch.index, epoch.parallel)
+        self._epoch_words = 0
+        reads_before = result.reads
+        misses_before = result.read_misses
+        if self._kernel is not None:
+            self._kernel.begin_epoch()
+
+        batch = epoch._batch
+        preapplied = False
+        if self._kernel is not None and getattr(self._kernel, "full_batch",
+                                                False):
+            preapplied = self._preapply_epoch(epoch, batch, hot_idx)
+        base = global_time + machine.epoch_setup_cycles
+        clocks: Dict[int, int] = {}
+        heap: List = []
+        hot_pos = [0] * len(epoch.tasks)
+        for rank, task in enumerate(epoch.tasks):
+            start = base + machine.task_dispatch_cycles * rank
+            breakdown["dispatch"] += start - global_time
+            stall = stalls.get(task.proc, 0)
+            breakdown["reset_stall"] += stall
+            start += stall
+            clocks[task.proc] = start
+
+        for rank, task in enumerate(epoch.tasks):
+            if task.events:
+                self._advance(epoch, rank, 0, clocks[task.proc],
+                              hot_idx, hot_pos, clocks, heap)
+
+        # Hot events replay with the reference engine's exact heap keys,
+        # so every cross-processor interaction happens in the same global
+        # order the reference engine would produce.
+        while heap:
+            clock, proc, rank, idx = heapq.heappop(heap)
+            task = epoch.tasks[rank]
+            event = task.events[idx]
+            clock += event.work
+            breakdown["busy"] += event.work
+            if self._kernel is not None:
+                clock += self._kernel.boundary(self, proc, batch.tasks[rank],
+                                               idx)
+            else:
+                clock += self._exec_event(proc, event)
+            hot_pos[rank] += 1
+            self._advance(epoch, rank, idx + 1, clock,
+                          hot_idx, hot_pos, clocks, heap)
+
+        if preapplied:
+            self._kernel.clear_memo()
+        barrier_words = self.scheme.end_epoch(epoch.write_key)
+        for _proc, words in barrier_words.items():
+            if words:
+                result.note_traffic(0, words, 0)
+                self._epoch_words += words
+        self.shadow.barrier()
+
+        end_time = max(clocks.values(), default=global_time)
+        end_time = max(end_time, base)
+        for proc_clock in clocks.values():
+            breakdown["barrier_idle"] += end_time - proc_clock
+        breakdown["barrier_idle"] += ((machine.n_procs - len(clocks))
+                                      * (end_time - global_time))
+        epoch_cycles = max(1, end_time - global_time)
+        self.network.observe_epoch(self._epoch_words, epoch_cycles,
+                                   machine.network_smoothing)
+        if machine.record_epochs:
+            result.epoch_records.append(EpochRecord(
+                index=epoch.index, parallel=epoch.parallel,
+                label=epoch.label, cycles=epoch_cycles,
+                reads=result.reads - reads_before,
+                read_misses=result.read_misses - misses_before,
+                words_injected=self._epoch_words,
+                network_load=self.network.rho))
+        return end_time
+
+    # ---------------------------------------------------------- pre-apply
+
+    def _preapply_epoch(self, epoch, batch, hot_idx) -> bool:
+        """Try to run *all* of the epoch's cold events through one merged
+        kernel scan before dispatch (full-batch kernels only).
+
+        Sound whenever the hot and cold events occupy disjoint cache
+        sets: the set index is a global function of the line address, so
+        set-disjointness implies line-disjointness for every side channel
+        the hot replay can observe — cache sets (including the targets of
+        remote invalidations), shadow words, directory entries (a line
+        resident in a cold set cannot be a hot line), touched/seen bits
+        and write-buffer entries keyed by address.  Counters are
+        commutative sums and all latencies are epoch-latched, so the
+        pre-applied cold state and per-task latency sums are exactly what
+        interleaved execution would produce; :meth:`~repro.coherence.
+        batch._FullBatchKernel.span` then replays them from memoized
+        prefix sums.  When two tasks share a processor *and* the epoch
+        has hot events, their cold segments resume in heap order rather
+        than rank order, so any cold set shared between such tasks forces
+        a bail-out (without hot events the merged rank order is exactly
+        the dispatch order)."""
+        tasks = batch.tasks
+        any_hot = any(len(h) for h in hot_idx)
+        # The pieces, guard outcome, and merged window depend only on the
+        # trace and the hot-index partition — never on runtime protocol
+        # state — so cache them under the partition key ``_plan_epoch``
+        # recorded: "written"/"none" are shared by every scheme;
+        # directory partitions are keyed by their extra hot lines, which
+        # recur across repeated (deterministic) simulations.
+        key = "none" if not any_hot else self._plan_key
+        cached = batch.preapply_cache.get(key, _MISS)
+        if cached is not _MISS:
+            if cached is None:
+                return False
+            pieces, cols = cached
+            return self._kernel.preapply(self, pieces, cols)
+        if any_hot:
+            hot_sets = np.unique(np.concatenate(
+                [ta.set_[h] for ta, h in zip(tasks, hot_idx) if len(h)]))
+            proc_sets: Dict[int, np.ndarray] = {}
+        pieces = []
+        for rank, task in enumerate(epoch.tasks):
+            ta = tasks[rank]
+            if ta.n == 0:
+                continue
+            h = hot_idx[rank]
+            if len(h):
+                sel = np.ones(ta.n, dtype=bool)
+                sel[h] = False
+                if not sel.any():
+                    continue
+                cold_sets = np.unique(ta.set_[sel])
+            else:
+                sel = None
+                cold_sets = ta.uniq_sets
+            if any_hot:
+                if np.isin(cold_sets, hot_sets).any():
+                    batch.preapply_cache[key] = None
+                    return False
+                seen = proc_sets.get(task.proc)
+                if seen is None:
+                    proc_sets[task.proc] = cold_sets
+                else:
+                    if np.isin(cold_sets, seen).any():
+                        batch.preapply_cache[key] = None
+                        return False
+                    proc_sets[task.proc] = np.union1d(seen, cold_sets)
+            pieces.append((task.proc, ta, sel))
+        if not pieces:
+            batch.preapply_cache[key] = None
+            return False
+        cols = _Cols.merged(pieces, self.machine.cache.n_sets,
+                            self.shadow.total_words)
+        batch.preapply_cache[key] = (pieces, cols)
+        return self._kernel.preapply(self, pieces, cols)
+
+    # ------------------------------------------------------------ advance
+
+    def _advance(self, epoch, rank: int, start_idx: int, clock: int,
+                 hot_idx, hot_pos, clocks, heap) -> None:
+        """Run a task's cold events from ``start_idx`` up to its next hot
+        event (pushed onto the heap) or to completion."""
+        task = epoch.tasks[rank]
+        ta = epoch._batch.tasks[rank]
+        hot = hot_idx[rank]
+        position = hot_pos[rank]
+        stop = int(hot[position]) if position < len(hot) else ta.n
+        clock += self._run_cold(task.proc, ta, start_idx, stop)
+        if position < len(hot):
+            heapq.heappush(heap, (clock, task.proc, rank, stop))
+        else:
+            clock += task.extra_work
+            self.result.breakdown["busy"] += task.extra_work
+            clocks[task.proc] = clock
+
+    def _run_cold(self, proc: int, ta: _TaskArrays, lo: int, hi: int) -> int:
+        if lo >= hi:
+            return 0
+        if self._kernel is not None:
+            return self._kernel.span(self, proc, ta, lo, hi)
+        elapsed = 0
+        busy = self.result.breakdown
+        for i in range(lo, hi):
+            event = ta.events[i]
+            busy["busy"] += event.work
+            elapsed += event.work + self._exec_event(proc, event)
+        return elapsed
+
+    # ----------------------------------------------------------- per-event
+
+    def _exec_event(self, proc: int, event) -> int:
+        """One READ/WRITE through the scheme, with the reference engine's
+        accounting; returns the processor-visible latency."""
+        result = self.result
+        if event.kind is EventKind.READ:
+            r = self.scheme.read(proc, event.addr, event.site,
+                                 event.shared, event.in_critical)
+            if r.kind.is_miss:
+                result.breakdown["read_stall"] += r.latency
+            else:
+                result.breakdown["busy"] += r.latency
+            result.note_read(event.shared, r.kind, r.latency)
+        else:
+            r = self.scheme.write(proc, event.addr, event.site,
+                                  event.shared, event.in_critical)
+            if r.latency > self.machine.hit_latency:
+                result.breakdown["write_stall"] += r.latency
+            else:
+                result.breakdown["busy"] += r.latency
+            result.note_write(event.shared)
+        result.note_traffic(r.read_words, r.write_words, r.coherence_words)
+        self._epoch_words += r.total_words
+        return r.latency

@@ -57,6 +57,11 @@ class SimResult:
     final_network_load: float = 0.0
     extra: Dict[str, int] = field(default_factory=dict)
     epoch_records: List[EpochRecord] = field(default_factory=list)
+    engine: str = ""
+    """Which engine produced this result ("fast"/"reference"): provenance
+    for cached artifacts and telemetry.  Deliberately absent from
+    :meth:`to_dict` — the engines are bit-identical by contract, and the
+    JSON rendering must not differ between them."""
 
     # ------------------------------------------------------------- recording
 
@@ -123,23 +128,29 @@ class SimResult:
         return self.miss_counts.get(kind, 0)
 
     def to_dict(self) -> Dict:
-        """JSON-friendly snapshot (enums become their value strings)."""
+        """JSON-friendly snapshot (enums become their value strings).
+
+        The variable-key sub-dicts are key-sorted so the rendering is
+        canonical: the two engines accumulate identical counts in different
+        orders, and ``json.dumps`` of this snapshot must be byte-identical
+        across engines, worker counts, and repeated runs.
+        """
         return {
             "scheme": self.scheme, "program": self.program,
             "n_procs": self.n_procs, "exec_cycles": self.exec_cycles,
             "epochs": self.epochs, "reads": self.reads, "writes": self.writes,
             "shared_reads": self.shared_reads,
             "shared_writes": self.shared_writes,
-            "miss_counts": {kind.value: count
-                            for kind, count in self.miss_counts.items()},
+            "miss_counts": {kind.value: count for kind, count in sorted(
+                self.miss_counts.items(), key=lambda kv: kv[0].value)},
             "miss_rate": self.miss_rate,
             "avg_miss_latency": self.avg_miss_latency,
-            "traffic": {cls.value: words
-                        for cls, words in self.traffic.items()},
+            "traffic": {cls.value: words for cls, words in sorted(
+                self.traffic.items(), key=lambda kv: kv[0].value)},
             "breakdown": dict(self.breakdown),
             "resets": self.resets,
             "final_network_load": self.final_network_load,
-            "extra": dict(self.extra),
+            "extra": {key: self.extra[key] for key in sorted(self.extra)},
         }
 
     def breakdown_fractions(self) -> Dict[str, float]:

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, Optional, Union
 from repro.common.config import MachineConfig, default_machine
 from repro.compiler.marking import Marking, MarkingOptions, mark_program
 from repro.ir.program import Program
-from repro.sim.engine import Engine
+from repro.sim.engine import make_engine
 from repro.sim.metrics import SimResult
 from repro.trace.events import Trace
 from repro.trace.generate import generate_trace
@@ -53,7 +53,7 @@ def simulate(run: Union[Program, PreparedRun], scheme: str,
     """Simulate one scheme; accepts a Program or a PreparedRun."""
     if isinstance(run, Program):
         run = prepare(run, machine, params, opts, migration)
-    return Engine(run.trace, run.marking, run.machine, scheme).run()
+    return make_engine(run.trace, run.marking, run.machine, scheme).run()
 
 
 def simulate_all(run: Union[Program, PreparedRun],

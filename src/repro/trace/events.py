@@ -67,6 +67,20 @@ class TraceEpoch:
     label: str = ""
     n_tasks_scheduled: int = 0  # dispatch count (> len(tasks) under self-sched)
     write_key: Optional[int] = None
+    _batch: Optional[object] = field(default=None, repr=False, compare=False)
+    """Fast-engine columnar view of the tasks, built lazily on first use
+    and shared by every scheme simulated over this trace in-process.
+    Derived data: dropped from pickles (see ``__getstate__``) so cached
+    PreparedRun artifacts stay lean."""
+
+    def __getstate__(self):
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["_batch"] = None
+        return state
+
+    def __setstate__(self, state):
+        for slot in self.__slots__:
+            object.__setattr__(self, slot, state.get(slot))
 
     @property
     def n_events(self) -> int:

@@ -10,6 +10,9 @@ in-bounds by design so the trace generator's bounds checks never fire.
 
 from hypothesis import strategies as st
 
+from repro.common.config import (WORD_BYTES, CacheConfig, ConsistencyModel,
+                                 SchedulePolicy, TpiConfig, WriteBufferKind,
+                                 default_machine)
 from repro.ir import ProgramBuilder
 
 N1 = 12  # 1-D array extent
@@ -96,6 +99,31 @@ def _segment(draw, b, tag, allow_call):
                 draw(_statement(b, i, None, allow_critical=parallel))
     if allow_call and draw(st.integers(0, 2)) == 0:
         b.call(draw(st.sampled_from(["serial_helper", "parallel_helper"])))
+
+
+@st.composite
+def machines(draw):
+    """Random machine configurations for differential engine testing.
+
+    Deliberately includes tiny caches (conflict-heavy), single-word lines,
+    two-way associativity (no batch kernel — exercises the fast engine's
+    per-event merged path), sequential consistency, coalescing write
+    buffers, every schedule policy, and narrow timetags (frequent resets).
+    """
+    n_lines = draw(st.sampled_from([8, 32, 256]))
+    line_words = draw(st.sampled_from([1, 2, 4]))
+    assoc = draw(st.sampled_from([1, 1, 1, 2]))  # weight the kernel path
+    cache = CacheConfig(size_bytes=n_lines * line_words * WORD_BYTES,
+                        line_words=line_words, associativity=assoc)
+    return default_machine().with_(
+        n_procs=draw(st.sampled_from([2, 3, 4, 8])),
+        cache=cache,
+        tpi=TpiConfig(timetag_bits=draw(st.sampled_from([2, 8]))),
+        write_buffer=draw(st.sampled_from(list(WriteBufferKind))),
+        consistency=draw(st.sampled_from(list(ConsistencyModel))),
+        schedule=draw(st.sampled_from(list(SchedulePolicy))),
+        record_epochs=True,
+    )
 
 
 @st.composite

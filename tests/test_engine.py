@@ -114,6 +114,94 @@ class TestLocks:
         b = simulate(self.build_locked(), "hw", machine())
         assert a.exec_cycles == b.exec_cycles
 
+    def test_contended_lock_spins_show_as_sync_stall(self):
+        contended = simulate(self.build_locked(), "tpi", machine(n_procs=8))
+        alone = simulate(self.build_locked(), "tpi", machine(n_procs=1))
+        # Spinning processors charge their retry cycles to sync_stall;
+        # with one processor the lock is always free on arrival.
+        assert contended.breakdown["sync_stall"] > alone.breakdown["sync_stall"]
+        assert contended.extra["lock_acquires"] == 8
+
+    def test_free_time_hand_off_serializes_critical_work(self):
+        """A released lock's ``free_time`` gates the next acquirer: the
+        critical sections' work can never overlap, whatever the spin
+        timing, so total time grows linearly with the holder count."""
+        few = simulate(self.build_locked(n=4), "tpi", machine(n_procs=4))
+        many = simulate(self.build_locked(n=16), "tpi", machine(n_procs=4))
+        assert many.exec_cycles - few.exec_cycles >= 12 * 50
+
+
+class TestLockErrors:
+    """Hand-crafted traces for the engine's lock-safety guards (the IR
+    builder cannot emit unbalanced critical sections)."""
+
+    def crafted(self, events_by_proc, scheme="hw", n_procs=4):
+        from repro.compiler.marking import mark_program
+        from repro.sim import make_engine
+        from repro.trace.events import (EventKind, MemEvent, Task, Trace,
+                                        TraceEpoch)
+        from repro.trace.layout import MemoryLayout
+
+        b = ProgramBuilder("crafted")
+        b.array("A", (16,))
+        with b.procedure("main"):
+            b.stmt(writes=[b.at("A", 0)], work=1)
+        program = b.build()
+        m = machine(n_procs=n_procs)
+        tasks = [
+            Task(proc=proc, events=[
+                MemEvent(kind=kind, addr=0, site=0, work=1, lock=lock)
+                for kind, lock in events])
+            for proc, events in events_by_proc.items()]
+        trace = Trace("crafted", m.n_procs,
+                      epochs=[TraceEpoch(index=0, parallel=True,
+                                         tasks=tasks)],
+                      layout=MemoryLayout(program, m.n_procs,
+                                          m.cache.line_words))
+        return make_engine(trace, mark_program(program), m, scheme)
+
+    def test_lock_held_at_barrier_raises(self):
+        from repro.trace.events import EventKind
+
+        engine = self.crafted({0: [(EventKind.LOCK, 7)]})
+        with pytest.raises(SimulationError, match="locks held"):
+            engine.run()
+
+    def test_unlock_without_hold_raises(self):
+        from repro.trace.events import EventKind
+
+        engine = self.crafted({0: [(EventKind.UNLOCK, 7)]})
+        with pytest.raises(SimulationError, match="does not hold"):
+            engine.run()
+
+    def test_unlock_by_non_holder_raises(self):
+        from repro.trace.events import EventKind
+
+        engine = self.crafted({0: [(EventKind.LOCK, 7)],
+                               1: [(EventKind.UNLOCK, 7)]})
+        with pytest.raises(SimulationError, match="does not hold"):
+            engine.run()
+
+    def test_spin_counter_deadlock_guard(self, monkeypatch):
+        """A waiter that can never acquire trips the million-spin guard
+        instead of hanging.  Start the counter near the limit so the test
+        does not actually spin a million times."""
+        from repro.sim import engine as engine_mod
+        from repro.trace.events import EventKind
+
+        real_state = engine_mod._LockState
+
+        def near_limit():
+            state = real_state()
+            state.spins = 10 ** 6
+            return state
+
+        monkeypatch.setattr(engine_mod, "_LockState", near_limit)
+        engine = self.crafted({0: [(EventKind.LOCK, 3)],
+                               1: [(EventKind.LOCK, 3)]})
+        with pytest.raises(SimulationError, match="probable deadlock"):
+            engine.run()
+
 
 class TestNetworkFeedback:
     def test_write_traffic_raises_load_and_miss_latency(self):

@@ -1,0 +1,62 @@
+"""The ``CoherenceScheme.extras()`` metrics contract.
+
+Every engine collects scheme-specific counters through the one
+``extras()`` method (plus the ``resets``/``reset_invalidations``
+attributes); nothing probes scheme objects with ``hasattr``.  These tests
+pin the per-scheme key sets so a scheme cannot silently stop exporting a
+counter the figures depend on.
+"""
+
+import pytest
+
+from repro.coherence.api import CoherenceScheme
+from repro.common.config import default_machine
+from repro.sim import prepare, simulate
+from repro.workloads import build_workload
+
+EXPECTED_KEYS = {
+    "base": set(),
+    "sc": {"buffered_writes"},
+    "tpi": {"time_reads", "time_read_hits", "strict_reads",
+            "buffered_writes"},
+    "hw": {"invalidations_sent", "false_invalidations"},
+    "limitless": {"invalidations_sent", "false_invalidations",
+                  "software_traps"},
+    "update": {"updates_sent", "buffered_writes"},
+}
+
+
+@pytest.fixture(scope="module")
+def run():
+    machine = default_machine().with_(n_procs=4)
+    return prepare(build_workload("ocean", size="small"), machine)
+
+
+class TestExtrasContract:
+    def test_default_is_empty(self):
+        # The base implementation takes nothing from self.
+        assert CoherenceScheme.extras(None) == {}
+
+    @pytest.mark.parametrize("scheme", sorted(EXPECTED_KEYS))
+    def test_scheme_counters_reach_result(self, run, scheme):
+        result = simulate(run, scheme)
+        # lock_acquires is engine-side; everything else comes via extras().
+        scheme_keys = set(result.extra) - {"lock_acquires"}
+        assert scheme_keys >= EXPECTED_KEYS[scheme]
+
+    def test_extras_values_are_counters(self, run):
+        for scheme in EXPECTED_KEYS:
+            result = simulate(run, scheme)
+            for key, value in result.extra.items():
+                assert isinstance(value, int) and value >= 0, (scheme, key)
+
+    def test_tpi_counts_time_reads(self, run):
+        result = simulate(run, "tpi")
+        assert result.extra["time_reads"] > 0
+        assert result.extra["time_read_hits"] <= result.extra["time_reads"]
+
+    def test_hw_counts_invalidations(self, run):
+        result = simulate(run, "hw")
+        assert result.extra["invalidations_sent"] > 0
+        assert (result.extra["false_invalidations"]
+                <= result.extra["invalidations_sent"])
