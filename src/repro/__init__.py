@@ -41,7 +41,7 @@ from repro.runtime import (
     execute_jobs,
 )
 from repro.sim import PreparedRun, SimResult, prepare, simulate, simulate_all
-from repro.trace import MigrationSpec, generate_trace
+from repro.trace import ColumnarTrace, MigrationSpec, generate_columnar, generate_trace
 from repro.workloads import build_workload, workload_names
 
 __version__ = "1.0.0"
@@ -49,6 +49,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ArtifactCache",
     "CacheConfig",
+    "ColumnarTrace",
     "DirectoryConfig",
     "InterprocMode",
     "Job",
@@ -73,6 +74,7 @@ __all__ = [
     "default_machine",
     "execute_jobs",
     "experiment_ids",
+    "generate_columnar",
     "generate_trace",
     "mark_program",
     "prepare",

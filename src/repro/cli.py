@@ -24,8 +24,10 @@ Commands
 simulations out over N worker processes (0 = all cores), ``--cache-dir``
 relocates the artifact cache (default ``~/.cache/repro`` or
 ``$REPRO_CACHE_DIR``), ``--no-cache`` disables it, ``--report PATH``
-writes run telemetry (cache hits, per-job wall times, worker utilization)
-as JSON, and ``--json PATH`` writes the results themselves as JSON.
+writes run telemetry (cache hits, per-job wall times, worker utilization,
+per-phase compile/trace/engine timings) as JSON, and ``--json PATH``
+writes the results themselves as JSON (``simulate`` adds a ``phases``
+key alongside the per-scheme results when phase timings were recorded).
 """
 
 from __future__ import annotations
@@ -186,8 +188,13 @@ def _cmd_simulate(args) -> int:
         print(results[scheme].summary())
         print()
     if args.json:
-        write_json({scheme: result.to_dict()
-                    for scheme, result in results.items()}, args.json)
+        payload = {scheme: result.to_dict()
+                   for scheme, result in results.items()}
+        if telemetry.phase_s:
+            payload["phases"] = {phase: round(seconds, 6)
+                                 for phase, seconds
+                                 in sorted(telemetry.phase_s.items())}
+        write_json(payload, args.json)
     _finish_run(args, telemetry)
     return 0
 

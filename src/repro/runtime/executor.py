@@ -89,6 +89,9 @@ def _obtain_prepared(work: _GroupWork, cache: Optional[ArtifactCache],
     stats["traces_generated"] += 1
     prepared = prepare(work.program, work.machine, work.params, work.opts,
                        work.migration)
+    phases = stats["phases"]
+    phases["compile"] = phases.get("compile", 0.0) + prepared.compile_s
+    phases["trace"] = phases.get("trace", 0.0) + prepared.trace_s
     if cache is not None:
         cache.store(KIND_PREPARED, work.prepare_key, prepared)
     return prepared
@@ -107,12 +110,15 @@ def _simulate_entries(prepared: PreparedRun,
         started = time.perf_counter()
         result = make_engine(prepared.trace, prepared.marking,
                              prepared.machine, scheme).run()
+        wall = time.perf_counter() - started
         computed[result_key] = result
         if cache is not None:
             cache.store(KIND_RESULT, result_key, result)
+        phases = stats["phases"]
+        phases["engine"] = phases.get("engine", 0.0) + wall
         stats["records"].append({
             "label": label, "scheme": scheme, "fingerprint": result_key[:12],
-            "wall_s": time.perf_counter() - started, "source": "computed",
+            "wall_s": wall, "source": "computed",
             "engine": result.engine, "worker": os.getpid()})
         out.append((index, result))
     return out
@@ -120,7 +126,7 @@ def _simulate_entries(prepared: PreparedRun,
 
 def _new_stats() -> Dict[str, Any]:
     return {"prepare_hits": 0, "prepare_misses": 0, "traces_generated": 0,
-            "records": []}
+            "records": [], "phases": {}}
 
 
 def _execute_group(work: _GroupWork) -> Tuple[List[Tuple[int, SimResult]], Dict]:

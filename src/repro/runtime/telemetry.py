@@ -53,6 +53,10 @@ class Telemetry:
     wall_time_s: float = 0.0
     n_workers: int = 1
     records: List[JobRecord] = field(default_factory=list)
+    phase_s: Dict[str, float] = field(default_factory=dict)
+    """Cumulative wall seconds per pipeline phase (``compile``,
+    ``trace``, ``engine``), summed across workers — front-end vs engine
+    cost per run at a glance."""
 
     # ------------------------------------------------------------ recording
 
@@ -61,11 +65,16 @@ class Telemetry:
         self.prepare_hits += stats.get("prepare_hits", 0)
         self.prepare_misses += stats.get("prepare_misses", 0)
         self.traces_generated += stats.get("traces_generated", 0)
+        for phase, seconds in stats.get("phases", {}).items():
+            self.note_phase(phase, seconds)
         for record in stats.get("records", ()):
             self.records.append(JobRecord(**record))
 
     def note_job(self, record: JobRecord) -> None:
         self.records.append(record)
+
+    def note_phase(self, phase: str, seconds: float) -> None:
+        self.phase_s[phase] = self.phase_s.get(phase, 0.0) + seconds
 
     # ------------------------------------------------------------- derived
 
@@ -105,6 +114,8 @@ class RunReport:
                 "hit_rate": round(t.cache_hit_rate, 4),
             },
             "traces_generated": t.traces_generated,
+            "phases": {phase: round(seconds, 6)
+                       for phase, seconds in sorted(t.phase_s.items())},
             "retries": t.retries,
             "worker_busy_s": {str(pid): round(busy, 6)
                               for pid, busy in sorted(t.worker_utilization().items())},
@@ -122,6 +133,10 @@ class RunReport:
             f"prepare {t.prepare_hits} hit / {t.prepare_misses} miss, "
             f"{t.traces_generated} trace(s) generated",
         ]
+        if t.phase_s:
+            lines.append("phases: " + "  ".join(
+                f"{phase} {seconds:.3f}s"
+                for phase, seconds in sorted(t.phase_s.items())))
         if t.records:
             width = max(len(r.label) for r in t.records)
             lines.append(f"{'job'.ljust(width)}  {'source':>8}  {'wall':>8}  worker")

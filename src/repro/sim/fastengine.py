@@ -45,31 +45,75 @@ import numpy as np
 from repro.coherence.batch import _Cols
 from repro.sim.engine import Engine
 from repro.sim.metrics import EpochRecord
-from repro.trace.events import EventKind
+from repro.trace.columnar import KIND_WRITE, ColumnarEpoch
+from repro.trace.events import EventKind, MemEvent
 
 
 class _TaskArrays:
-    """Columnar view of one task's events (geometry-resolved)."""
+    """Columnar view of one task's events (geometry-resolved).
 
-    __slots__ = ("events", "n", "addr", "site", "work", "shared", "is_write",
-                 "line", "set_", "word", "uniq_lines", "uniq_sets")
+    Built straight from a :class:`~repro.trace.columnar.TaskColumns`
+    slice (zero-copy) when the trace is columnar, or converted from an
+    object :class:`~repro.trace.events.Task` otherwise.  ``events``
+    materializes the object list lazily — only the per-event slow paths
+    (kernel boundaries, poisoned spans, kernel-less schemes) touch it;
+    the batch kernels run on the arrays.
+    """
 
-    def __init__(self, task, line_words: int, n_sets: int):
-        events = task.events
-        n = len(events)
-        self.events = events
+    __slots__ = ("_events", "proc", "extra_work", "n", "addr", "site",
+                 "work", "shared", "is_write", "line", "set_", "word",
+                 "uniq_lines", "uniq_sets")
+
+    def __init__(self, proc, extra_work, events, n, addr, site, work,
+                 shared, is_write, line_words: int, n_sets: int):
+        self.proc = proc
+        self.extra_work = extra_work
+        self._events = events
         self.n = n
-        self.addr = np.fromiter((e.addr for e in events), np.int64, n)
-        self.site = np.fromiter((e.site for e in events), np.int64, n)
-        self.work = np.fromiter((e.work for e in events), np.int64, n)
-        self.shared = np.fromiter((e.shared for e in events), bool, n)
-        self.is_write = np.fromiter(
-            (e.kind is EventKind.WRITE for e in events), bool, n)
-        self.line = self.addr // line_words
+        self.addr = addr
+        self.site = site
+        self.work = work
+        self.shared = shared
+        self.is_write = is_write
+        self.line = addr // line_words
         self.set_ = self.line % n_sets
         self.word = self.addr - self.line * line_words
         self.uniq_lines = np.unique(self.line)
         self.uniq_sets = np.unique(self.set_)
+
+    @classmethod
+    def from_task(cls, task, line_words: int, n_sets: int) -> "_TaskArrays":
+        events = task.events
+        n = len(events)
+        return cls(
+            task.proc, task.extra_work, events, n,
+            np.fromiter((e.addr for e in events), np.int64, n),
+            np.fromiter((e.site for e in events), np.int64, n),
+            np.fromiter((e.work for e in events), np.int64, n),
+            np.fromiter((e.shared for e in events), bool, n),
+            np.fromiter((e.kind is EventKind.WRITE for e in events), bool, n),
+            line_words, n_sets)
+
+    @classmethod
+    def from_columns(cls, tc, line_words: int, n_sets: int) -> "_TaskArrays":
+        return cls(tc.proc, tc.extra_work, None, tc.n, tc.addr, tc.site,
+                   tc.work, tc.shared, tc.kind == KIND_WRITE,
+                   line_words, n_sets)
+
+    @property
+    def events(self):
+        if self._events is None:
+            # Only non-sync epochs build _TaskArrays, so every event is a
+            # plain READ/WRITE outside any critical section.  Python-int
+            # fields keep downstream accounting identical to object traces.
+            self._events = [
+                MemEvent(EventKind.WRITE if w else EventKind.READ,
+                         addr, site, work, shared)
+                for w, addr, site, work, shared in zip(
+                    self.is_write.tolist(), self.addr.tolist(),
+                    self.site.tolist(), self.work.tolist(),
+                    self.shared.tolist())]
+        return self._events
 
 
 class _EpochBatch:
@@ -87,16 +131,24 @@ class _EpochBatch:
         # Hot-rule keyed cache of the merged pre-apply window (or a bail
         # marker); shared across schemes and repeated simulations.
         self.preapply_cache = {}
-        self.has_sync = any(
-            e.kind is EventKind.LOCK or e.kind is EventKind.UNLOCK
-            or e.in_critical
-            for task in epoch.tasks for e in task.events)
-        if self.has_sync:
-            # Sync epochs always fall back; never pay for columnar views.
-            self.tasks = []
-            return
-        self.tasks = [_TaskArrays(task, line_words, n_sets)
-                      for task in epoch.tasks]
+        if isinstance(epoch, ColumnarEpoch):
+            self.has_sync = epoch.has_sync
+            if self.has_sync:
+                self.tasks = []
+                return
+            self.tasks = [_TaskArrays.from_columns(tc, line_words, n_sets)
+                          for tc in epoch.task_columns()]
+        else:
+            self.has_sync = any(
+                e.kind is EventKind.LOCK or e.kind is EventKind.UNLOCK
+                or e.in_critical
+                for task in epoch.tasks for e in task.events)
+            if self.has_sync:
+                # Sync epochs always fall back; skip the columnar views.
+                self.tasks = []
+                return
+            self.tasks = [_TaskArrays.from_task(task, line_words, n_sets)
+                          for task in epoch.tasks]
         # Lines touched by two or more tasks this epoch.
         all_lines = (np.concatenate([ta.uniq_lines for ta in self.tasks])
                      if self.tasks else np.zeros(0, dtype=np.int64))
@@ -124,6 +176,14 @@ class _EpochBatch:
 _NO_HOT = np.zeros(0, dtype=np.int64)
 _MISS = object()
 
+#: Minimum events per task for batching to pay for its numpy analysis.
+#: Below this the per-epoch array set-up (unique/isin/intersect over a
+#: handful of elements, times tasks, times schemes) costs more than the
+#: per-event reference walk it replaces — flo52's many tiny epochs were
+#: measurably *slower* batched (BENCH_engine.json pre-fix) while every
+#: other workload sits comfortably above the floor.
+_MIN_TASK_EVENTS = 32
+
 
 class FastEngine(Engine):
     """Drop-in engine with batched cold spans; bit-identical results."""
@@ -135,6 +195,8 @@ class FastEngine(Engine):
         self._kernel = self.scheme.make_batch_kernel()
         self._epoch_words = 0
         self._plan_key = "none"
+        self.batched_epochs = 0
+        self.fallback_epochs = 0
 
     # ------------------------------------------------------------ planning
 
@@ -142,6 +204,8 @@ class FastEngine(Engine):
         """Per-task hot-event index arrays, or ``None`` to fall back."""
         rule = self.scheme.batch_hot_rule
         if rule is None:
+            return None
+        if epoch.n_events < _MIN_TASK_EVENTS * max(1, epoch.n_tasks):
             return None
         cache_cfg = self.machine.cache
         geometry = (cache_cfg.line_words, cache_cfg.n_sets)
@@ -200,12 +264,12 @@ class FastEngine(Engine):
                 # dependent, so just take the exact path.
                 return None
             caches = self.scheme.caches
-            for rank, (task, ta) in enumerate(zip(epoch.tasks, batch.tasks)):
+            for rank, ta in enumerate(batch.tasks):
                 other = batch.other_lines[rank]
                 if not len(other):
                     continue
                 # 1. Epoch-start occupants a cold miss would displace.
-                occ = caches[task.proc].tags[ta.set_, 0]
+                occ = caches[ta.proc].tags[ta.set_, 0]
                 risk = (occ >= 0) & (occ != ta.line)
                 if hot_masks is not None:
                     risk &= ~hot_masks[rank]
@@ -230,10 +294,12 @@ class FastEngine(Engine):
     def _run_epoch(self, epoch, global_time: int) -> int:
         hot_idx = self._plan_epoch(epoch)
         if hot_idx is None:
+            self.fallback_epochs += 1
             end_time = super()._run_epoch(epoch, global_time)
             if self._kernel is not None:
                 self._kernel.resync()
             return end_time
+        self.batched_epochs += 1
         return self._run_epoch_fast(epoch, global_time, hot_idx)
 
     def _run_epoch_fast(self, epoch, global_time: int,
@@ -252,22 +318,22 @@ class FastEngine(Engine):
         preapplied = False
         if self._kernel is not None and getattr(self._kernel, "full_batch",
                                                 False):
-            preapplied = self._preapply_epoch(epoch, batch, hot_idx)
+            preapplied = self._preapply_epoch(batch, hot_idx)
         base = global_time + machine.epoch_setup_cycles
         clocks: Dict[int, int] = {}
         heap: List = []
-        hot_pos = [0] * len(epoch.tasks)
-        for rank, task in enumerate(epoch.tasks):
+        hot_pos = [0] * len(batch.tasks)
+        for rank, ta in enumerate(batch.tasks):
             start = base + machine.task_dispatch_cycles * rank
             breakdown["dispatch"] += start - global_time
-            stall = stalls.get(task.proc, 0)
+            stall = stalls.get(ta.proc, 0)
             breakdown["reset_stall"] += stall
             start += stall
-            clocks[task.proc] = start
+            clocks[ta.proc] = start
 
-        for rank, task in enumerate(epoch.tasks):
-            if task.events:
-                self._advance(epoch, rank, 0, clocks[task.proc],
+        for rank, ta in enumerate(batch.tasks):
+            if ta.n:
+                self._advance(batch, rank, 0, clocks[ta.proc],
                               hot_idx, hot_pos, clocks, heap)
 
         # Hot events replay with the reference engine's exact heap keys,
@@ -275,17 +341,16 @@ class FastEngine(Engine):
         # order the reference engine would produce.
         while heap:
             clock, proc, rank, idx = heapq.heappop(heap)
-            task = epoch.tasks[rank]
-            event = task.events[idx]
-            clock += event.work
-            breakdown["busy"] += event.work
+            ta = batch.tasks[rank]
+            work = int(ta.work[idx])
+            clock += work
+            breakdown["busy"] += work
             if self._kernel is not None:
-                clock += self._kernel.boundary(self, proc, batch.tasks[rank],
-                                               idx)
+                clock += self._kernel.boundary(self, proc, ta, idx)
             else:
-                clock += self._exec_event(proc, event)
+                clock += self._exec_event(proc, ta.events[idx])
             hot_pos[rank] += 1
-            self._advance(epoch, rank, idx + 1, clock,
+            self._advance(batch, rank, idx + 1, clock,
                           hot_idx, hot_pos, clocks, heap)
 
         if preapplied:
@@ -318,7 +383,7 @@ class FastEngine(Engine):
 
     # ---------------------------------------------------------- pre-apply
 
-    def _preapply_epoch(self, epoch, batch, hot_idx) -> bool:
+    def _preapply_epoch(self, batch, hot_idx) -> bool:
         """Try to run *all* of the epoch's cold events through one merged
         kernel scan before dispatch (full-batch kernels only).
 
@@ -358,8 +423,7 @@ class FastEngine(Engine):
                 [ta.set_[h] for ta, h in zip(tasks, hot_idx) if len(h)]))
             proc_sets: Dict[int, np.ndarray] = {}
         pieces = []
-        for rank, task in enumerate(epoch.tasks):
-            ta = tasks[rank]
+        for rank, ta in enumerate(tasks):
             if ta.n == 0:
                 continue
             h = hot_idx[rank]
@@ -376,15 +440,15 @@ class FastEngine(Engine):
                 if np.isin(cold_sets, hot_sets).any():
                     batch.preapply_cache[key] = None
                     return False
-                seen = proc_sets.get(task.proc)
+                seen = proc_sets.get(ta.proc)
                 if seen is None:
-                    proc_sets[task.proc] = cold_sets
+                    proc_sets[ta.proc] = cold_sets
                 else:
                     if np.isin(cold_sets, seen).any():
                         batch.preapply_cache[key] = None
                         return False
-                    proc_sets[task.proc] = np.union1d(seen, cold_sets)
-            pieces.append((task.proc, ta, sel))
+                    proc_sets[ta.proc] = np.union1d(seen, cold_sets)
+            pieces.append((ta.proc, ta, sel))
         if not pieces:
             batch.preapply_cache[key] = None
             return False
@@ -395,22 +459,21 @@ class FastEngine(Engine):
 
     # ------------------------------------------------------------ advance
 
-    def _advance(self, epoch, rank: int, start_idx: int, clock: int,
+    def _advance(self, batch, rank: int, start_idx: int, clock: int,
                  hot_idx, hot_pos, clocks, heap) -> None:
         """Run a task's cold events from ``start_idx`` up to its next hot
         event (pushed onto the heap) or to completion."""
-        task = epoch.tasks[rank]
-        ta = epoch._batch.tasks[rank]
+        ta = batch.tasks[rank]
         hot = hot_idx[rank]
         position = hot_pos[rank]
         stop = int(hot[position]) if position < len(hot) else ta.n
-        clock += self._run_cold(task.proc, ta, start_idx, stop)
+        clock += self._run_cold(ta.proc, ta, start_idx, stop)
         if position < len(hot):
-            heapq.heappush(heap, (clock, task.proc, rank, stop))
+            heapq.heappush(heap, (clock, ta.proc, rank, stop))
         else:
-            clock += task.extra_work
-            self.result.breakdown["busy"] += task.extra_work
-            clocks[task.proc] = clock
+            clock += ta.extra_work
+            self.result.breakdown["busy"] += ta.extra_work
+            clocks[ta.proc] = clock
 
     def _run_cold(self, proc: int, ta: _TaskArrays, lo: int, hi: int) -> int:
         if lo >= hi:

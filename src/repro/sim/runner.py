@@ -10,6 +10,7 @@ four schemes on one benchmark pays the front-end cost once::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Union
 
@@ -18,19 +19,28 @@ from repro.compiler.marking import Marking, MarkingOptions, mark_program
 from repro.ir.program import Program
 from repro.sim.engine import make_engine
 from repro.sim.metrics import SimResult
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.events import Trace
-from repro.trace.generate import generate_trace
+from repro.trace.generate import generate_columnar
 from repro.trace.schedule import MigrationSpec
 
 
 @dataclass
 class PreparedRun:
-    """Compiler + trace-generator output, reusable across schemes."""
+    """Compiler + trace-generator output, reusable across schemes.
+
+    ``trace`` is columnar (:class:`~repro.trace.columnar.ColumnarTrace`)
+    when built by :func:`prepare`; both engines accept either form.
+    ``compile_s``/``trace_s`` record the front-end phase wall times and
+    feed the runtime's phase telemetry.
+    """
 
     program: Program
     machine: MachineConfig
     marking: Marking
-    trace: Trace
+    trace: Union[Trace, ColumnarTrace]
+    compile_s: float = 0.0
+    trace_s: float = 0.0
 
 
 def prepare(program: Program, machine: Optional[MachineConfig] = None,
@@ -39,10 +49,14 @@ def prepare(program: Program, machine: Optional[MachineConfig] = None,
             migration: Optional[MigrationSpec] = None) -> PreparedRun:
     """Compile and trace a program for a machine configuration."""
     machine = machine or default_machine()
+    started = time.perf_counter()
     marking = mark_program(program, params, opts)
-    trace = generate_trace(program, machine, params, migration)
+    compiled = time.perf_counter()
+    trace = generate_columnar(program, machine, params, migration)
+    traced = time.perf_counter()
     return PreparedRun(program=program, machine=machine, marking=marking,
-                       trace=trace)
+                       trace=trace, compile_s=compiled - started,
+                       trace_s=traced - compiled)
 
 
 def simulate(run: Union[Program, PreparedRun], scheme: str,

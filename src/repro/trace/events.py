@@ -86,6 +86,10 @@ class TraceEpoch:
     def n_events(self) -> int:
         return sum(len(t.events) for t in self.tasks)
 
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
 
 @dataclass
 class Trace:

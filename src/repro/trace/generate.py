@@ -26,7 +26,10 @@ split mid-task by a :class:`MigrationSpec` for the Section-5 experiments.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.columnar import ColumnarTrace, TaskColumns
 
 from repro.common.config import MachineConfig
 from repro.common.errors import SimulationError
@@ -287,9 +290,81 @@ class _Generator:
                                  in_critical=in_critical))
 
 
+class _ColumnarGenerator(_Generator):
+    """The interpreter with vectorized DOALL expansion layered on top.
+
+    Affine DOALL bodies (the common case — see :mod:`repro.trace.
+    vectorize`) are evaluated once symbolically and expanded over the
+    whole iteration space with numpy broadcasting, producing per-task
+    columns directly; everything else — serial epochs, migration runs,
+    and any body the extractor rejects — takes the inherited
+    per-iteration path, byte-for-byte.  ``run`` returns the whole trace
+    in columnar form.
+    """
+
+    def __init__(self, program: Program, machine: MachineConfig,
+                 params: Optional[Dict[str, int]],
+                 migration: MigrationSpec):
+        super().__init__(program, machine, params, migration)
+        from repro.trace.vectorize import TemplateCache
+        self._expanded: Dict[int, List["TaskColumns"]] = {}
+        self._templates = TemplateCache()
+        self.n_expanded_epochs = 0
+
+    def _doall(self, loop) -> None:
+        from repro.trace.vectorize import expand_epoch
+        if self.migration.enabled:
+            # Mid-task splits depend on the global iteration counter;
+            # the interpreter's event-level walk handles them.
+            return super()._doall(loop)
+        template = self._templates.get(self.program, loop, self.env)
+        if template is None:
+            return super()._doall(loop)
+        self._flush_serial()
+        lo = loop.lo.evaluate(self.env)
+        hi = loop.hi.evaluate(self.env)
+        values = list(range(lo, hi + (1 if loop.step > 0 else -1), loop.step))
+        assignments = schedule_iterations(values, self.machine.n_procs,
+                                          self.machine.schedule)
+        columns = expand_epoch(template, values, assignments, self.layout)
+        if columns is None:
+            # A subscript leaves its array for some iteration; re-run the
+            # interpreter so the error (first faulting iteration) matches.
+            return super()._doall(loop)
+        index = len(self.trace.epochs)
+        self.trace.epochs.append(TraceEpoch(
+            index=index, parallel=True, tasks=[],
+            label=loop.label or f"doall {loop.index}",
+            n_tasks_scheduled=len(values), write_key=id(loop)))
+        self._expanded[index] = columns
+        self.iteration_counter += len(values)
+        self.n_expanded_epochs += 1
+
+    def run(self) -> "ColumnarTrace":  # type: ignore[override]
+        from repro.trace.columnar import ColumnarTrace
+        trace = super().run()
+        columnar = ColumnarTrace.from_trace(trace, self._expanded)
+        columnar.n_expanded_epochs = self.n_expanded_epochs
+        return columnar
+
+
 def generate_trace(program: Program, machine: MachineConfig,
                    params: Optional[Dict[str, int]] = None,
                    migration: Optional[MigrationSpec] = None) -> Trace:
     """Execute ``program`` and return its memory-event trace."""
     return _Generator(program, machine, params,
                       migration or MigrationSpec()).run()
+
+
+def generate_columnar(program: Program, machine: MachineConfig,
+                      params: Optional[Dict[str, int]] = None,
+                      migration: Optional[MigrationSpec] = None):
+    """Execute ``program`` and return its trace in columnar form.
+
+    Equivalent to ``ColumnarTrace.from_trace(generate_trace(...))`` —
+    the round-trip is lossless and simulation results are identical —
+    but affine DOALLs are expanded with numpy instead of interpreted
+    per iteration, which is what makes the front end fast.
+    """
+    return _ColumnarGenerator(program, machine, params,
+                              migration or MigrationSpec()).run()
