@@ -1,0 +1,146 @@
+"""Gang-simulation speedup on a config-axis sweep (fig15 + fig16 shape).
+
+Times a timetag-width x line-size grid — the back-end-only sweep the
+paper's Figures 15 and 16 run — two ways:
+
+* **per-cell**: every grid cell prepares its own front end and simulates
+  solo on the fast engine (the pre-gang behavior, where the machine
+  fingerprint included back-end fields and no trace was shared);
+* **ganged**: one :class:`Sweep.run(jobs=1)` per workload, where the
+  fingerprint split puts every cell on one shared columnar trace and the
+  executor gang-primes the per-geometry analyses once.
+
+The committed ``BENCH_sweep.json`` at the repo root records the
+measurement; CI re-runs the small grid with ``--min-speedup 2.0`` as a
+regression gate.
+
+Standalone::
+
+    python benchmarks/bench_sweep.py --size small --rounds 3 \
+        --out BENCH_sweep.json
+    python benchmarks/bench_sweep.py --size small --min-speedup 2.0
+
+Under pytest the grid runs once as a recorded benchmark with a sanity
+assertion only (the hard gate lives in the CI job, where rounds and host
+are controlled).
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.common.config import default_machine
+from repro.sim import prepare, simulate
+from repro.sim.sweep import Sweep, axis_cache_lines, axis_timetag_bits
+from repro.workloads import build_workload
+
+WORKLOADS = ("ocean", "trfd")
+SCHEMES = ("tpi", "hw")
+TIMETAG_BITS = (2, 3, 4, 6, 8)  # fig15's axis
+LINE_WORDS = (1, 2, 4, 8)       # fig16's axis (4B..32B lines)
+
+
+def _sweep(program):
+    sweep = Sweep(program, schemes=SCHEMES, base=default_machine())
+    sweep.add_axis("k", axis_timetag_bits(TIMETAG_BITS))
+    sweep.add_axis("line", axis_cache_lines(LINE_WORDS))
+    return sweep
+
+
+def _cell_machines():
+    base = default_machine()
+    return [axis[1]((k_axis[1](base)))
+            for k_axis in axis_timetag_bits(TIMETAG_BITS)
+            for axis in axis_cache_lines(LINE_WORDS)]
+
+
+def time_grid(size: str, rounds: int = 3) -> dict:
+    """Best-of-``rounds`` wall-clock for the whole grid, per strategy."""
+    totals = {"per_cell": float("inf"), "ganged": float("inf")}
+    per_workload = {}
+    for name in WORKLOADS:
+        program = build_workload(name, size=size)
+        machines = _cell_machines()
+        best_cell = float("inf")
+        best_gang = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            for machine in machines:
+                run = prepare(program, machine)
+                for scheme in SCHEMES:
+                    simulate(run, scheme)
+            best_cell = min(best_cell, time.perf_counter() - started)
+
+            started = time.perf_counter()
+            _sweep(program).run(jobs=1)
+            best_gang = min(best_gang, time.perf_counter() - started)
+        per_workload[name] = {"per_cell_s": round(best_cell, 4),
+                              "ganged_s": round(best_gang, 4),
+                              "speedup": round(best_cell / best_gang, 2)}
+    total_cell = sum(w["per_cell_s"] for w in per_workload.values())
+    total_gang = sum(w["ganged_s"] for w in per_workload.values())
+    return {
+        "grid": "fig15+fig16",
+        "size": size,
+        "rounds": rounds,
+        "workloads": list(WORKLOADS),
+        "schemes": list(SCHEMES),
+        "timetag_bits": list(TIMETAG_BITS),
+        "line_words": list(LINE_WORDS),
+        "cells_per_workload": len(TIMETAG_BITS) * len(LINE_WORDS) * len(SCHEMES),
+        "per_workload": per_workload,
+        "per_cell_s": round(total_cell, 3),
+        "ganged_s": round(total_gang, 3),
+        "speedup": round(total_cell / total_gang, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", nargs="+", default=["small"],
+                        choices=("small", "default", "large"),
+                        help="workload size preset(s) to measure")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per grid (best is kept)")
+    parser.add_argument("--out", default=None,
+                        help="write the report as JSON to this path")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero if any measured grid is slower")
+    args = parser.parse_args(argv)
+
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "grids": {},
+    }
+    failed = False
+    for size in args.size:
+        grid = time_grid(size, args.rounds)
+        report["grids"][size] = grid
+        print(f"sweep[{size}] per-cell={grid['per_cell_s']}s "
+              f"ganged={grid['ganged_s']}s speedup={grid['speedup']}x")
+        if args.min_speedup is not None and grid["speedup"] < args.min_speedup:
+            print(f"FAIL: speedup {grid['speedup']}x is below the "
+                  f"{args.min_speedup}x floor", file=sys.stderr)
+            failed = True
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 1 if failed else 0
+
+
+class TestSweepBench:
+    def test_gang_grid_speedup(self, benchmark, bench_size):
+        size = "default" if bench_size == "paper" else "small"
+        grid = benchmark.pedantic(time_grid, args=(size, 2),
+                                  iterations=1, rounds=1)
+        # Sanity only: the calibrated >= 2x gate runs in the dedicated CI
+        # benchmark job and BENCH_sweep.json.
+        assert grid["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

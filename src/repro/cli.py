@@ -49,9 +49,11 @@ from repro.workloads import build_workload, workload_names
 def _add_runtime_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="worker processes (0 = all cores; default 1)")
-    sub.add_argument("--engine", choices=("fast", "reference"),
+    sub.add_argument("--engine", choices=("fast", "gang", "reference"),
                      help="simulation engine (default $REPRO_ENGINE or fast; "
-                          "the engines are bit-identical, see docs/PERF.md)")
+                          "gang shares trace-static analyses across sweep "
+                          "variants; the engines are bit-identical, see "
+                          "docs/PERF.md)")
     sub.add_argument("--cache-dir", metavar="PATH",
                      help="artifact cache location (default ~/.cache/repro "
                           "or $REPRO_CACHE_DIR)")
@@ -258,9 +260,17 @@ def _cmd_sweep(args) -> int:
         print(f"{labels}  {point.scheme:>7}  {r.exec_cycles:>9}  "
               f"{100 * r.miss_rate:>7.2f}  {r.avg_miss_latency:>8.1f}")
     if args.json:
-        write_json([{"labels": point.labels, "scheme": point.scheme,
-                     "result": point.result.to_dict()} for point in points],
-                   args.json)
+        write_json({
+            "points": [{"labels": point.labels, "scheme": point.scheme,
+                        "result": point.result.to_dict()}
+                       for point in points],
+            "traces_generated": telemetry.traces_generated,
+            "gang": {"traces_shared": telemetry.traces_shared,
+                     "results_shared": telemetry.results_shared,
+                     "width": telemetry.gang_width},
+            "phases": {phase: round(seconds, 6)
+                       for phase, seconds in sorted(telemetry.phase_s.items())},
+        }, args.json)
     _finish_run(args, telemetry)
     return 0
 

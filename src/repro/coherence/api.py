@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.common.config import MachineConfig
 from repro.common.errors import ConfigError, SimulationError
@@ -87,6 +87,16 @@ class CoherenceScheme(abc.ABC):
     #: could touch a line another processor interacts with this epoch.
     batch_hot_rule: Optional[str] = None
     batch_evict_coupled: bool = False
+
+    #: :class:`MachineConfig` fields this scheme provably never reads.
+    #: Declaring a field here lets :meth:`repro.runtime.jobs.Job.fingerprint`
+    #: drop it, so sweep cells differing only in a scheme-dead knob name
+    #: the *same* result and the executor computes it once (e.g. the
+    #: hardware directory is invariant to TPI's timetag width, collapsing
+    #: the hw column of a fig15-style sweep to a single simulation).
+    #: Opt-in and conservative: the default is "everything matters";
+    #: tests/test_gang.py differentially pins each declaration.
+    config_dead_fields: Tuple[str, ...] = ()
 
     def __init__(self, ctx: SimContext):
         self.ctx = ctx
@@ -174,8 +184,8 @@ class CoherenceScheme(abc.ABC):
                     f"version {version} < visible floor {floor}")
 
 
-def make_scheme(name: str, ctx: SimContext) -> CoherenceScheme:
-    """Instantiate a scheme by its registry name (see SCHEME_NAMES)."""
+def scheme_registry() -> Dict[str, type]:
+    """Name -> scheme class for every registered protocol."""
     from repro.coherence.base import BaseScheme
     from repro.coherence.directory import FullMapDirectoryScheme
     from repro.coherence.limitless import LimitLessScheme
@@ -183,7 +193,7 @@ def make_scheme(name: str, ctx: SimContext) -> CoherenceScheme:
     from repro.coherence.tpi import TpiScheme
     from repro.coherence.update import UpdateDirectoryScheme
 
-    registry = {
+    return {
         "base": BaseScheme,
         "sc": SoftwareBypassScheme,
         "tpi": TpiScheme,
@@ -191,6 +201,23 @@ def make_scheme(name: str, ctx: SimContext) -> CoherenceScheme:
         "limitless": LimitLessScheme,
         "update": UpdateDirectoryScheme,
     }
+
+
+def make_scheme(name: str, ctx: SimContext) -> CoherenceScheme:
+    """Instantiate a scheme by its registry name (see SCHEME_NAMES)."""
+    registry = scheme_registry()
     if name not in registry:
         raise ConfigError(f"unknown scheme {name!r}; choose from {sorted(registry)}")
     return registry[name](ctx)
+
+
+def dead_config_fields(name: str) -> Tuple[str, ...]:
+    """:class:`MachineConfig` fields the named scheme never reads.
+
+    The runtime fingerprint prunes these before hashing, so two jobs
+    differing only in a dead field share one cached/computed result.
+    """
+    registry = scheme_registry()
+    if name not in registry:
+        raise ConfigError(f"unknown scheme {name!r}; choose from {sorted(registry)}")
+    return registry[name].config_dead_fields

@@ -1461,5 +1461,86 @@ class UpdateBatchKernel(_BatchKernel):
         return words
 
 
-__all__ = ["BaseBatchKernel", "DirectoryBatchKernel", "ScBatchKernel",
-           "TpiBatchKernel", "UpdateBatchKernel", "prior_same_addr"]
+# ---------------------------------------------------------------------------
+# The gang's config axis
+
+
+class GangParams:
+    """Stacked per-config parameter arrays for gang simulation.
+
+    A gang (:mod:`repro.sim.gang`) simulates many back-end machine
+    configurations over one shared trace.  This object lines the configs
+    up as numpy axes: cache geometry (``line_words``/``n_sets``/
+    ``associativity``), timetag width (``timetag_bits`` and the derived
+    two-phase ``counter_modulus``), and the latency table
+    (``hit_latency``/``base_miss_latency``) each become one stacked array
+    indexed by config.  The trace-static work the configs can share —
+    resolving every event address to ``(line, set, word)`` — collapses to
+    the unique cache geometries and runs as a single
+    ``(geometries x events)`` broadcast in :meth:`resolve`; per-config
+    *protocol* state never stacks, because each member's results must stay
+    byte-identical to a solo run (the PR-3 parity contract).
+    """
+
+    def __init__(self, machines):
+        machines = list(machines)
+        if not machines:
+            raise ValueError("a gang needs at least one machine")
+        self.machines = machines
+        self.n_configs = len(machines)
+        caches = [m.cache for m in machines]
+        self.line_words = np.array([c.line_words for c in caches], np.int64)
+        self.n_sets = np.array([c.n_sets for c in caches], np.int64)
+        self.associativity = np.array([c.associativity for c in caches],
+                                      np.int64)
+        self.timetag_bits = np.array([m.tpi.timetag_bits for m in machines],
+                                     np.int64)
+        self.counter_modulus = np.int64(1) << self.timetag_bits
+        self.hit_latency = np.array([m.hit_latency for m in machines],
+                                    np.int64)
+        self.base_miss_latency = np.array([m.base_miss_latency
+                                           for m in machines], np.int64)
+        # Unique cache geometries in first-appearance order, plus each
+        # config's index into them: configs sharing a geometry share every
+        # trace-static analysis built over it.
+        self.geometries = []
+        self.geometry_index = np.empty(self.n_configs, np.int64)
+        seen = {}
+        for i, cache in enumerate(caches):
+            geometry = (cache.line_words, cache.n_sets)
+            if geometry not in seen:
+                seen[geometry] = len(self.geometries)
+                self.geometries.append(geometry)
+            self.geometry_index[i] = seen[geometry]
+
+    @property
+    def n_geometries(self) -> int:
+        return len(self.geometries)
+
+    def resolve(self, addr):
+        """Geometry-resolve an address array for every unique geometry."""
+        return resolve_geometries(addr, self.geometries)
+
+
+def resolve_geometries(addr, geometries):
+    """Resolve ``(line, set, word)`` for each ``(line_words, n_sets)``.
+
+    One ``(geometries x events)`` broadcast replaces ``len(geometries)``
+    separate passes; returns ``{geometry: (line, set, word)}`` row views
+    (C-contiguous, one per geometry).  The formulas match
+    :class:`repro.sim.fastengine._TaskArrays` exactly, so pre-resolved
+    rows can never change a member's results.
+    """
+    addr = np.asarray(addr, dtype=np.int64)
+    lw = np.array([g[0] for g in geometries], np.int64)[:, None]
+    ns = np.array([g[1] for g in geometries], np.int64)[:, None]
+    line = addr[None, :] // lw
+    set_ = line % ns
+    word = addr[None, :] - line * lw
+    return {g: (line[i], set_[i], word[i])
+            for i, g in enumerate(geometries)}
+
+
+__all__ = ["BaseBatchKernel", "DirectoryBatchKernel", "GangParams",
+           "ScBatchKernel", "TpiBatchKernel", "UpdateBatchKernel",
+           "prior_same_addr", "resolve_geometries"]

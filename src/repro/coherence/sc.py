@@ -26,6 +26,8 @@ from repro.memsys.wbuffer import make_write_buffer, wbuffer_extras
 class SoftwareBypassScheme(CoherenceScheme):
     name = "sc"
     batch_hot_rule = "written"
+    # Invalidation is index-driven (no timetags) and there is no directory.
+    config_dead_fields = ("tpi", "directory")
 
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)

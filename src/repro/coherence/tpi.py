@@ -67,6 +67,9 @@ from repro.memsys.wbuffer import make_write_buffer, wbuffer_extras
 class TpiScheme(CoherenceScheme):
     name = "tpi"
     batch_hot_rule = "written"
+    # TPI reads its own timetag config and the write-buffer kind; only
+    # the directory parameters are foreign to it.
+    config_dead_fields = ("directory",)
 
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)

@@ -190,11 +190,13 @@ class MachineConfig:
     check_coherence: bool = True
     record_epochs: bool = False
     engine: str = "auto"
-    """Simulation engine: ``"fast"`` (batched kernel), ``"reference"``
-    (per-event heap loop), or ``"auto"`` (the ``REPRO_ENGINE`` environment
-    variable, else fast).  The engines are differentially tested to be
-    bit-identical, so this knob affects wall-clock only — it is therefore
-    excluded from runtime job fingerprints."""
+    """Simulation engine: ``"fast"`` (batched kernel), ``"gang"`` (batched
+    kernel sharing trace-static analyses across the back-end variants of a
+    sweep group), ``"reference"`` (per-event heap loop), or ``"auto"``
+    (the ``REPRO_ENGINE`` environment variable, else fast).  The engines
+    are differentially tested to be bit-identical, so this knob affects
+    wall-clock only — it is therefore excluded from runtime job
+    fingerprints."""
 
     def __post_init__(self) -> None:
         if self.n_procs <= 0:
@@ -203,9 +205,9 @@ class MachineConfig:
             raise ConfigError("latencies must be positive")
         if not 0.0 <= self.network_smoothing <= 1.0:
             raise ConfigError("network smoothing must lie in [0, 1]")
-        if self.engine not in ("auto", "fast", "reference"):
-            raise ConfigError(
-                f"unknown engine {self.engine!r}; choose auto, fast, or reference")
+        if self.engine not in ("auto", "fast", "gang", "reference"):
+            raise ConfigError(f"unknown engine {self.engine!r}; "
+                              f"choose auto, fast, gang, or reference")
 
     def with_(self, **changes) -> "MachineConfig":
         """Return a copy with the given fields replaced (sweep helper)."""

@@ -118,7 +118,7 @@ class ExperimentResult:
 
 
 class Bench:
-    """Prepares workloads once per (machine, size) and simulates on demand.
+    """Prepares workloads once per (front end, size) and simulates on demand.
 
     When a :func:`repro.runtime.session` is active, simulations route
     through its executor: the first request for a scheme fetches it for
@@ -126,16 +126,27 @@ class Bench:
     the session is parallel), and the session's artifact cache makes
     repeat invocations near-free.  Without a session, behavior is the
     original direct in-process path.
+
+    ``gang`` declares the back-end machine variants an experiment sweeps
+    over (cache geometry, timetag width, write buffer — anything outside
+    ``n_procs``/``schedule``).  All variants share one prepared front end
+    per workload (prepares are keyed by front-end identity), requests for
+    any variant batch the *whole* gang in one executor call, and the
+    direct path gang-primes the shared trace before simulating
+    (:func:`repro.sim.gang.prime_group`).
     """
 
     def __init__(self, machine: Optional[MachineConfig] = None,
-                 size: str = "paper", workloads: Optional[Sequence[str]] = None):
+                 size: str = "paper", workloads: Optional[Sequence[str]] = None,
+                 gang: Sequence[MachineConfig] = ()):
         self.machine = machine or default_machine()
         self.size = "small" if size == "small" else "default"
         self.names = list(workloads) if workloads else workload_names()
+        self.gang = list(gang)
         self._programs: Dict[str, object] = {}
-        self._prepared: Dict[Tuple[str, int], PreparedRun] = {}
+        self._prepared: Dict[Tuple[str, int, str], PreparedRun] = {}
         self._results: Dict[Tuple[str, str, int], SimResult] = {}
+        self._primed: set = set()
         # Front ends built by a session executor, keyed by prepare
         # fingerprint; handed back on later batches so one compile/trace
         # feeds every scheme (the executor fills it in-process).
@@ -149,7 +160,9 @@ class Bench:
     def prepared(self, name: str,
                  machine: Optional[MachineConfig] = None) -> PreparedRun:
         machine = machine or self.machine
-        key = (name, id(machine))
+        # Keyed by the front-end half of the machine: every back-end
+        # variant (gang member) reuses the same compile + trace.
+        key = (name, machine.n_procs, machine.schedule)
         if key not in self._prepared:
             self._prepared[key] = prepare(self._program(name), machine)
         return self._prepared[key]
@@ -164,22 +177,51 @@ class Bench:
 
         session = current_session()
         if session is None:
-            self._results[key] = simulate(self.prepared(name, machine), scheme)
+            run = self.prepared(name, machine)
+            self._prime(name, run)
+            self._results[key] = simulate(run, scheme, machine=machine)
         else:
             self._fetch_batch(name, scheme, machine, session)
         return self._results[key]
 
+    def _gang_machines(self, machine: MachineConfig) -> List[MachineConfig]:
+        """The machines to batch together with ``machine``."""
+        if any(m is machine for m in self.gang):
+            return self.gang
+        return [machine]
+
+    def _prime(self, name: str, run: PreparedRun) -> None:
+        """Gang-prime a workload's shared trace once (direct path)."""
+        if name in self._primed:
+            return
+        self._primed.add(name)
+        if len(self.gang) >= 2:
+            from repro.sim.engine import resolve_engine
+            from repro.sim.gang import prime_group
+
+            members = [m for m in self.gang
+                       if resolve_engine(m) != "reference"]
+            if len(members) >= 2:
+                prime_group(run.trace, members)
+
     def _fetch_batch(self, name: str, scheme: str, machine: MachineConfig,
                      session) -> None:
-        """Fetch one scheme for every still-missing workload in one batch."""
+        """Fetch one scheme for every still-missing workload in one batch.
+
+        When ``machine`` is a gang member, the batch covers the whole
+        gang: (workloads x variants) land in one executor run, whose
+        grouping puts every variant of a workload on one shared trace.
+        """
         from repro.runtime import Job
 
+        machines = self._gang_machines(machine)
         missing = [n for n in self.names
                    if (n, scheme, id(machine)) not in self._results]
         if name not in missing:
             missing.append(name)
-        jobs = [Job(program=self._program(n), scheme=scheme, machine=machine)
-                for n in missing]
-        for n, result in zip(missing, session.run(jobs,
-                                                  prepared=self._front_ends)):
-            self._results[(n, scheme, id(machine))] = result
+        cells = [(n, m) for n in missing for m in machines]
+        jobs = [Job(program=self._program(n), scheme=scheme, machine=m)
+                for n, m in cells]
+        for (n, m), result in zip(cells, session.run(
+                jobs, prepared=self._front_ends)):
+            self._results[(n, scheme, id(m))] = result

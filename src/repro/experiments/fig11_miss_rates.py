@@ -4,6 +4,10 @@ The paper's figure shows, for a 64 KB direct-mapped cache, the read miss
 rate of BASE, SC, TPI and the hardware directory on each benchmark; the
 claim is that TPI's miss rates are comparable to the directory's while SC
 and BASE are far worse.
+
+The sweep axis here is the scheme, so the four cells per workload already
+gang over one shared trace (the executor groups by front-end fingerprint
+and scatters each group as one unit).
 """
 
 from __future__ import annotations

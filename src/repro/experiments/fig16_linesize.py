@@ -27,19 +27,20 @@ def run(machine: Optional[MachineConfig] = None,
                  *(f"{w * 4}B" for w in LINE_WORDS),
                  "false/1k @4B", "false/1k @64B"],
     )
-    benches = {}
-    for w in LINE_WORDS:
-        m = base.with_(cache=CacheConfig(size_bytes=base.cache.size_bytes,
-                                         line_words=w,
-                                         associativity=base.cache.associativity))
-        benches[w] = Bench(m, size)
-    for name in benches[4].names:
+    # Line size is back-end-only (traces use the fixed 4-word layout
+    # alignment), so all four geometries gang over one trace per workload.
+    machines = {w: base.with_(cache=CacheConfig(
+        size_bytes=base.cache.size_bytes, line_words=w,
+        associativity=base.cache.associativity)) for w in LINE_WORDS}
+    bench = Bench(base, size, gang=list(machines.values()))
+    for name in bench.names:
         for scheme in ("tpi", "hw"):
             row = [name, scheme.upper()]
             for w in LINE_WORDS:
-                row.append(100.0 * benches[w].result(name, scheme).miss_rate)
+                row.append(100.0 * bench.result(
+                    name, scheme, machines[w]).miss_rate)
             for w in (1, 16):
-                r = benches[w].result(name, scheme)
+                r = bench.result(name, scheme, machines[w])
                 row.append(1000.0 * r.kind_count(MissKind.FALSE_SHARING)
                            / max(1, r.reads))
             result.rows.append(row)

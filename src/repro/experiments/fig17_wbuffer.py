@@ -19,17 +19,20 @@ from repro.experiments.common import Bench, ExperimentResult
 def run(machine: Optional[MachineConfig] = None,
         size: str = "paper") -> ExperimentResult:
     base = machine or default_machine()
-    fifo = Bench(base.with_(write_buffer=WriteBufferKind.FIFO), size)
-    coal = Bench(base.with_(write_buffer=WriteBufferKind.COALESCING), size)
+    # The write-buffer organization is back-end-only: both variants gang
+    # over one shared trace per workload.
+    fifo_m = base.with_(write_buffer=WriteBufferKind.FIFO)
+    coal_m = base.with_(write_buffer=WriteBufferKind.COALESCING)
+    bench = Bench(base, size, gang=[fifo_m, coal_m])
     result = ExperimentResult(
         experiment="fig17_wbuffer",
         title="TPI write traffic: FIFO vs coalescing write buffer",
         headers=["workload", "FIFO words/access", "coalescing words/access",
                  "reduction %", "writes merged %"],
     )
-    for name in fifo.names:
-        f = fifo.result(name, "tpi")
-        c = coal.result(name, "tpi")
+    for name in bench.names:
+        f = bench.result(name, "tpi", fifo_m)
+        c = bench.result(name, "tpi", coal_m)
         accesses = max(1, f.reads + f.writes)
         f_words = f.traffic.get(TrafficClass.WRITE, 0) / accesses
         c_words = c.traffic.get(TrafficClass.WRITE, 0) / accesses

@@ -15,6 +15,8 @@ from typing import Dict, Optional
 from repro.common.config import CacheConfig, MachineConfig, default_machine
 from repro.experiments.common import ExperimentResult
 from repro.sim import prepare, simulate
+from repro.sim.engine import resolve_engine
+from repro.sim.gang import prime_group
 from repro.workloads import build_workload, workload_names
 
 SIZES_KB = (16, 64, 256)
@@ -59,12 +61,20 @@ def run(machine: Optional[MachineConfig] = None,
 
     for name in workload_names():
         program = build_workload(name, **overrides[name])
-        runs = {key: prepare(program, m) for key, m in machines.items()}
+        # Cache geometry is back-end-only: one prepare serves all four
+        # machines, gang-primed so the geometry resolution is shared.
+        run = prepare(program, base)
+        members = [m for m in machines.values()
+                   if resolve_engine(m) != "reference"]
+        if len(members) >= 2:
+            prime_group(run.trace, members)
         for scheme in ("tpi", "hw"):
             row = [name, scheme.upper()]
             for kb in SIZES_KB:
-                row.append(100.0 * simulate(runs[(kb, 1)], scheme).miss_rate)
-            row.append(100.0 * simulate(runs[(64, 4)], scheme).miss_rate)
+                row.append(100.0 * simulate(run, scheme,
+                                            machine=machines[(kb, 1)]).miss_rate)
+            row.append(100.0 * simulate(run, scheme,
+                                        machine=machines[(64, 4)]).miss_rate)
             result.rows.append(row)
     result.notes = ("shape: miss rate non-increasing in cache size, with a "
                     "visible capacity cliff between 16KB and 256KB on the "

@@ -162,12 +162,27 @@ class Cache:
         every surviving word's true age below 2^k, which is what makes the
         hardware's modular age comparisons exact.
         """
-        ktags = self.timetag % modulus
-        mask = (self.word_valid
-                & (ktags >= phase_lo) & (ktags <= phase_hi)
-                & (self.tags != -1)[:, :, None])
+        sets, ways = np.nonzero(self.tags != -1)
+        if sets.size == 0:
+            return 0
+        if sets.size * 2 >= self.tags.size:
+            # Dense cache: full-array ops beat gather/scatter indexing.
+            ktags = self.timetag % modulus
+            mask = (self.word_valid
+                    & (ktags >= phase_lo) & (ktags <= phase_hi)
+                    & (self.tags != -1)[:, :, None])
+            count = int(mask.sum())
+            self.word_valid[mask] = False
+            return count
+        # Sparse cache (the common case for the paper's working sets):
+        # restrict the modular comparison to the occupied lines.
+        valid = self.word_valid[sets, ways]
+        ktags = self.timetag[sets, ways] % modulus
+        mask = valid & (ktags >= phase_lo) & (ktags <= phase_hi)
         count = int(mask.sum())
-        self.word_valid[mask] = False
+        if count:
+            rows, cols = np.nonzero(mask)
+            self.word_valid[sets[rows], ways[rows], cols] = False
         return count
 
     def flush_all_words(self) -> int:

@@ -37,7 +37,7 @@ from typing import Any, Dict, Optional
 CACHE_VERSION = 1
 """On-disk layout version; bump when the directory structure changes."""
 
-ENGINE_SALT = "frontend-v3"
+ENGINE_SALT = "gang-v4"
 """Simulation-semantics version; bump on any engine/compiler/trace change
 that can alter results, to invalidate previously cached artifacts."""
 

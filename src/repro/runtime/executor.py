@@ -14,9 +14,18 @@ order**, regardless of completion order.  The pipeline:
    when a worker crashes;
 4. everything computed is written back to the cache.
 
-When a single front end fans out to several schemes and more than one
-worker is available, the front end is prepared parent-side once and the
-per-scheme simulations are scattered (``simulate_all(jobs=4)`` shape).
+When a single front end fans out to several back ends/schemes and more
+than one worker is available, the front end is prepared parent-side once
+and the entries are scattered in gang-sized chunks — one gang per worker,
+the columnar buffers shipped once per chunk instead of once per cell
+(``simulate_all(jobs=4)`` and ganged-sweep shapes).
+
+Groups whose entries span several distinct back-end machines are *gang
+primed* (:func:`repro.sim.gang.prime_group`) before simulation: the
+trace-static per-geometry analyses are built for all members in one
+config-axis broadcast and shared.  Priming never changes results — every
+member stays byte-identical to a solo run — so it applies to fast- and
+gang-engine entries alike; reference-engine entries bypass it.
 
 The engine is deterministic — a heap over per-processor clocks — so serial
 and parallel execution produce bit-identical results; the test suite
@@ -53,8 +62,24 @@ def effective_jobs(jobs: Optional[int]) -> int:
 
 
 @dataclass
+class _Entry:
+    """One pending simulation inside a group: its own back-end machine.
+
+    Entries of one group share the front end (trace + marking) but may
+    differ in every back-end machine field — the gang axis — so the
+    machine rides on the entry, never on the group's ``PreparedRun``.
+    """
+
+    index: int
+    scheme: str
+    machine: Any
+    result_key: str
+    label: str
+
+
+@dataclass
 class _GroupWork:
-    """One worker unit: a shared front end plus its scheme simulations."""
+    """One worker unit: a shared front end plus its member simulations."""
 
     prepare_key: str
     program: Any
@@ -62,19 +87,16 @@ class _GroupWork:
     params: Optional[Dict[str, int]]
     opts: Any
     migration: Any
-    entries: List[Tuple[int, str, str, str]]  # (index, scheme, result_key, label)
+    entries: List[_Entry]
     cache_root: Optional[str]
 
 
 @dataclass
-class _SchemeWork:
-    """Scatter unit: one scheme over a parent-prepared front end."""
+class _ScatterWork:
+    """Scatter unit: one gang chunk over a parent-prepared front end."""
 
     prepared: PreparedRun
-    index: int
-    scheme: str
-    result_key: str
-    label: str
+    entries: List[_Entry]
     cache_root: Optional[str]
 
 
@@ -97,52 +119,89 @@ def _obtain_prepared(work: _GroupWork, cache: Optional[ArtifactCache],
     return prepared
 
 
+def _prime_gang(prepared: PreparedRun, entries: Sequence[_Entry],
+                stats: Dict[str, Any]) -> None:
+    """Share the trace-static analyses across a group's back-end variants.
+
+    A no-op for single-config groups; otherwise one config-axis broadcast
+    (:func:`repro.sim.gang.prime_group`) pre-builds every member
+    geometry's epoch analyses on the shared trace.  Results are identical
+    with or without priming, so this is applied unconditionally to fast-
+    and gang-engine entries.
+    """
+    from repro.sim.engine import resolve_engine
+    from repro.sim.gang import distinct_backends, prime_group
+
+    machines = distinct_backends(
+        [entry.machine for entry in entries
+         if resolve_engine(entry.machine) != "reference"])
+    if len(machines) < 2:
+        return
+    started = time.perf_counter()
+    info = prime_group(prepared.trace, machines)
+    phases = stats["phases"]
+    phases["gang"] = (phases.get("gang", 0.0)
+                      + time.perf_counter() - started)
+    stats["gang_width"] = max(stats.get("gang_width", 0), info["width"])
+
+
 def _simulate_entries(prepared: PreparedRun,
-                      entries: Sequence[Tuple[int, str, str, str]],
+                      entries: Sequence[_Entry],
                       cache: Optional[ArtifactCache],
                       stats: Dict[str, Any]) -> List[Tuple[int, SimResult]]:
     out: List[Tuple[int, SimResult]] = []
     computed: Dict[str, SimResult] = {}
-    for index, scheme, result_key, label in entries:
-        if result_key in computed:
-            out.append((index, computed[result_key]))
+    _prime_gang(prepared, entries, stats)
+    for entry in entries:
+        # Scheme-dead config pruning (Job.fingerprint) makes e.g. every
+        # timetag width of an hw cell name the same result key — compute
+        # the representative once and share it with the duplicates.
+        if entry.result_key in computed:
+            stats["results_shared"] += 1
+            stats["records"].append({
+                "label": entry.label, "scheme": entry.scheme,
+                "fingerprint": entry.result_key[:12],
+                "wall_s": 0.0, "source": "shared",
+                "engine": computed[entry.result_key].engine,
+                "worker": os.getpid()})
+            out.append((entry.index, computed[entry.result_key]))
             continue
         started = time.perf_counter()
         result = make_engine(prepared.trace, prepared.marking,
-                             prepared.machine, scheme).run()
+                             entry.machine, entry.scheme).run()
         wall = time.perf_counter() - started
-        computed[result_key] = result
+        computed[entry.result_key] = result
         if cache is not None:
-            cache.store(KIND_RESULT, result_key, result)
+            cache.store(KIND_RESULT, entry.result_key, result)
         phases = stats["phases"]
         phases["engine"] = phases.get("engine", 0.0) + wall
         stats["records"].append({
-            "label": label, "scheme": scheme, "fingerprint": result_key[:12],
+            "label": entry.label, "scheme": entry.scheme,
+            "fingerprint": entry.result_key[:12],
             "wall_s": wall, "source": "computed",
             "engine": result.engine, "worker": os.getpid()})
-        out.append((index, result))
+        out.append((entry.index, result))
     return out
 
 
 def _new_stats() -> Dict[str, Any]:
     return {"prepare_hits": 0, "prepare_misses": 0, "traces_generated": 0,
-            "records": [], "phases": {}}
+            "gang_width": 0, "results_shared": 0, "records": [], "phases": {}}
 
 
 def _execute_group(work: _GroupWork) -> Tuple[List[Tuple[int, SimResult]], Dict]:
-    """Worker entry point: prepare (or load) the front end, run schemes."""
+    """Worker entry point: prepare (or load) the front end, run members."""
     cache = ArtifactCache(work.cache_root) if work.cache_root else None
     stats = _new_stats()
     prepared = _obtain_prepared(work, cache, stats)
     return _simulate_entries(prepared, work.entries, cache, stats), stats
 
 
-def _execute_scheme(work: _SchemeWork) -> Tuple[List[Tuple[int, SimResult]], Dict]:
+def _execute_scatter(work: _ScatterWork) -> Tuple[List[Tuple[int, SimResult]], Dict]:
     """Worker entry point for the scatter path (front end shipped in)."""
     cache = ArtifactCache(work.cache_root) if work.cache_root else None
     stats = _new_stats()
-    entries = [(work.index, work.scheme, work.result_key, work.label)]
-    return _simulate_entries(work.prepared, entries, cache, stats), stats
+    return _simulate_entries(work.prepared, work.entries, cache, stats), stats
 
 
 class ParallelExecutor:
@@ -196,9 +255,12 @@ class ParallelExecutor:
                 pending.append((index, job))
 
         groups = self._build_groups(pending, prepared)
-        # Scatter fans per-scheme entries (not whole groups) out to the
-        # pool, so count work units accordingly or the report under-states
-        # worker parallelism.
+        # Every pending job beyond the first of its group rides a shared
+        # front end — the fingerprint-split dedup the gang path builds on.
+        telemetry.traces_shared += sum(len(g.entries) - 1 for g in groups)
+        # Scatter fans gang chunks (not whole groups) out to the pool, so
+        # count work units accordingly or the report under-states worker
+        # parallelism.
         units = max(1, len(groups))
         if groups:
             if self.n_jobs <= 1:
@@ -232,8 +294,10 @@ class ParallelExecutor:
                                   entries=[], cache_root=cache_root)
                 grouped[key] = work
                 order.append(work)
-            work.entries.append((index, job.scheme, job.fingerprint(),
-                                 job.label))
+            work.entries.append(_Entry(index=index, scheme=job.scheme,
+                                       machine=job.machine,
+                                       result_key=job.fingerprint(),
+                                       label=job.label))
         return order
 
     def _group_timeout(self, work: _GroupWork) -> Optional[float]:
@@ -270,7 +334,15 @@ class ParallelExecutor:
     def _run_scatter(self, work: _GroupWork,
                      prepared: Optional[Dict[str, PreparedRun]],
                      results: List[Optional[SimResult]]) -> None:
-        """One front end, many schemes: prepare once, fan schemes out."""
+        """One front end, many back ends/schemes: prepare once, fan out.
+
+        Entries split into one contiguous gang chunk per worker, so the
+        columnar buffers pickle once per worker (not once per cell) and
+        each worker's chunk shares primed analyses in-process.  Contiguity
+        matters: the grid is schemes-innermost, so a cell's schemes — and
+        neighboring cells, which most often share a cache geometry — land
+        in the same chunk.
+        """
         stats = _new_stats()
         run = (prepared or {}).get(work.prepare_key)
         if run is None:
@@ -278,12 +350,42 @@ class ParallelExecutor:
             if prepared is not None:
                 prepared[work.prepare_key] = run
         self.telemetry.merge_worker(stats)
-        units = [_SchemeWork(prepared=run, index=index, scheme=scheme,
-                             result_key=result_key, label=label,
-                             cache_root=work.cache_root)
-                 for index, scheme, result_key, label in work.entries]
-        self._dispatch(_execute_scheme, units,
-                       lambda unit: self.timeout, results)
+        # Dedup duplicate result keys parent-side (scheme-dead config
+        # pruning): chunk boundaries would otherwise split duplicates
+        # across workers and recompute them.
+        reps: Dict[str, _Entry] = {}
+        entries: List[_Entry] = []
+        duplicates: List[_Entry] = []
+        for entry in work.entries:
+            if entry.result_key in reps:
+                duplicates.append(entry)
+            else:
+                reps[entry.result_key] = entry
+                entries.append(entry)
+        chunks = max(1, min(self.n_jobs, len(entries)))
+        size, rem = divmod(len(entries), chunks)
+        units: List[_ScatterWork] = []
+        start = 0
+        for rank in range(chunks):
+            stop = start + size + (1 if rank < rem else 0)
+            units.append(_ScatterWork(prepared=run,
+                                      entries=entries[start:stop],
+                                      cache_root=work.cache_root))
+            start = stop
+        self._dispatch(_execute_scatter, units, self._chunk_timeout, results)
+        for entry in duplicates:
+            result = results[reps[entry.result_key].index]
+            results[entry.index] = result
+            self.telemetry.results_shared += 1
+            self.telemetry.note_job(JobRecord(
+                label=entry.label, scheme=entry.scheme,
+                fingerprint=entry.result_key[:12], wall_s=0.0,
+                source="shared", engine=result.engine, worker=os.getpid()))
+
+    def _chunk_timeout(self, unit: _ScatterWork) -> Optional[float]:
+        if self.timeout is None:
+            return None
+        return self.timeout * max(1, len(unit.entries))
 
     def _run_pool(self, groups: Sequence[_GroupWork],
                   prepared: Optional[Dict[str, PreparedRun]],
@@ -331,9 +433,7 @@ class ParallelExecutor:
 
     @staticmethod
     def _unfinished(unit, results) -> bool:
-        if isinstance(unit, _SchemeWork):
-            return results[unit.index] is None
-        return any(results[index] is None for index, *_ in unit.entries)
+        return any(results[entry.index] is None for entry in unit.entries)
 
 
 def execute_jobs(jobs: Sequence[Job], n_jobs: Optional[int] = 1,

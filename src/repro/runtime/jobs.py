@@ -4,12 +4,17 @@ A :class:`Job` names one (program, machine, scheme, front-end options)
 simulation.  Two fingerprints are derived from it:
 
 * :meth:`Job.prepare_fingerprint` — identifies the compiler/trace
-  *front-end* artifacts (everything but the scheme).  Jobs sharing it can
+  *front-end* artifacts.  Only the machine fields the front end actually
+  reads participate (:data:`TRACE_MACHINE_FIELDS`: processor count and
+  schedule policy — the memory layout is fixed-aligned, see
+  :mod:`repro.trace.layout`); back-end knobs such as cache geometry,
+  timetag width, write buffer, and latencies do not.  Jobs sharing it can
   share one :class:`~repro.sim.runner.PreparedRun`; the executor groups by
-  this key so one trace generation feeds every scheme and sweep cell that
-  can reuse it.
+  this key, so one trace generation feeds every scheme *and every
+  back-end variant* of a sweep cell (the gang path).
 * :meth:`Job.fingerprint` — identifies the finished
-  :class:`~repro.sim.metrics.SimResult` (front-end key + scheme).
+  :class:`~repro.sim.metrics.SimResult` (front-end key + the back-end
+  machine fields + scheme).
 
 Fingerprints are content hashes over a *canonical* JSON rendering of the
 configuration (dataclasses flattened, enums replaced by their values, dict
@@ -36,6 +41,23 @@ from repro.trace.schedule import MigrationSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
     from repro.sim.sweep import Sweep
+
+#: Machine fields the compiler/trace front end reads.  Everything else on
+#: :class:`MachineConfig` only affects the back-end simulation, so it
+#: belongs in the result fingerprint, not the prepare fingerprint.
+TRACE_MACHINE_FIELDS = ("n_procs", "schedule")
+
+
+def split_machine(machine: MachineConfig) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Split a machine into (trace-relevant, back-end-only) plain dicts.
+
+    ``engine`` appears in neither half — the engines are differentially
+    tested to be bit-identical, so engine choice never keys an artifact.
+    """
+    plain = _plain(machine)
+    plain.pop("engine", None)
+    front = {name: plain.pop(name) for name in TRACE_MACHINE_FIELDS}
+    return front, plain
 
 
 def _plain(value: Any) -> Any:
@@ -83,22 +105,24 @@ class Job:
     _prepare_key: Optional[str] = field(default=None, repr=False, compare=False)
 
     def canonical(self) -> Dict[str, Any]:
-        """The hashed identity (program by digest, configs flattened).
+        """The hashed front-end identity (program by digest, configs
+        flattened).
 
-        ``machine.engine`` is deliberately stripped: the fast and reference
-        engines are differentially tested to produce bit-identical results,
-        so they may share cached artifacts — which engine actually produced
-        a cached ``SimResult`` is recorded on the artifact itself
-        (``SimResult.engine``), not in its key.
+        Only the trace-relevant half of the machine participates
+        (:func:`split_machine`), so back-end variants of one cell hash to
+        the same front end.  ``machine.engine`` is deliberately absent
+        everywhere: the engines are differentially tested to produce
+        bit-identical results, so they may share cached artifacts — which
+        engine actually produced a cached ``SimResult`` is recorded on the
+        artifact itself (``SimResult.engine``), not in its key.
         """
         from repro.runtime.cache import cache_salt
 
-        machine = _plain(self.machine)
-        machine.pop("engine", None)
+        front, _back = split_machine(self.machine)
         return {
             "salt": cache_salt(),
             "program": self.digest,
-            "machine": machine,
+            "machine": front,
             "params": _plain(self.params or {}),
             "opts": _plain(self.opts or MarkingOptions()),
             "migration": _plain(self.migration or MigrationSpec()),
@@ -118,8 +142,23 @@ class Job:
         return self._prepare_key
 
     def fingerprint(self) -> str:
-        """Key of the finished SimResult (front end + scheme)."""
-        text = self.prepare_fingerprint() + ":" + self.scheme
+        """Key of the finished SimResult (front end + back end + scheme).
+
+        The back-end machine fields dropped from the prepare key re-enter
+        here: two jobs sharing a trace but differing in, say, line size or
+        timetag width must never collide on a cached result.  Fields the
+        scheme declares it never reads
+        (:func:`repro.coherence.api.dead_config_fields`) are pruned first,
+        so e.g. every timetag width of a fig15-style sweep names the *same*
+        hardware-directory result and the executor computes it once.
+        """
+        from repro.coherence.api import dead_config_fields
+
+        _front, back = split_machine(self.machine)
+        for name in dead_config_fields(self.scheme):
+            back.pop(name, None)
+        text = ":".join([self.prepare_fingerprint(), canonical_json(back),
+                         self.scheme])
         return hashlib.sha256(text.encode()).hexdigest()
 
     @property

@@ -48,6 +48,16 @@ class Telemetry:
     result_hits: int = 0
     result_misses: int = 0
     traces_generated: int = 0
+    traces_shared: int = 0
+    """Jobs that rode a front end another job in the same run owned —
+    every group member beyond its first (the fingerprint-split dedup)."""
+    gang_width: int = 0
+    """Largest number of distinct back-end configurations gang-primed
+    over one shared trace (0 when no group was ganged)."""
+    results_shared: int = 0
+    """Jobs answered by another job's result in the same run: their
+    fingerprints collided after scheme-dead config pruning (e.g. the hw
+    column of a timetag sweep), so one simulation served them all."""
     retries: int = 0
     jobs_submitted: int = 0
     wall_time_s: float = 0.0
@@ -55,8 +65,8 @@ class Telemetry:
     records: List[JobRecord] = field(default_factory=list)
     phase_s: Dict[str, float] = field(default_factory=dict)
     """Cumulative wall seconds per pipeline phase (``compile``,
-    ``trace``, ``engine``), summed across workers — front-end vs engine
-    cost per run at a glance."""
+    ``trace``, ``gang``, ``engine``), summed across workers — front-end
+    vs config-axis priming vs engine cost per run at a glance."""
 
     # ------------------------------------------------------------ recording
 
@@ -65,6 +75,8 @@ class Telemetry:
         self.prepare_hits += stats.get("prepare_hits", 0)
         self.prepare_misses += stats.get("prepare_misses", 0)
         self.traces_generated += stats.get("traces_generated", 0)
+        self.gang_width = max(self.gang_width, stats.get("gang_width", 0))
+        self.results_shared += stats.get("results_shared", 0)
         for phase, seconds in stats.get("phases", {}).items():
             self.note_phase(phase, seconds)
         for record in stats.get("records", ()):
@@ -114,6 +126,11 @@ class RunReport:
                 "hit_rate": round(t.cache_hit_rate, 4),
             },
             "traces_generated": t.traces_generated,
+            "gang": {
+                "traces_shared": t.traces_shared,
+                "results_shared": t.results_shared,
+                "width": t.gang_width,
+            },
             "phases": {phase: round(seconds, 6)
                        for phase, seconds in sorted(t.phase_s.items())},
             "retries": t.retries,
@@ -132,6 +149,8 @@ class RunReport:
             f" ({100 * t.cache_hit_rate:.0f}%), "
             f"prepare {t.prepare_hits} hit / {t.prepare_misses} miss, "
             f"{t.traces_generated} trace(s) generated",
+            f"gang: {t.traces_shared} job(s) shared a trace, "
+            f"{t.results_shared} shared a result, width {t.gang_width}",
         ]
         if t.phase_s:
             lines.append("phases: " + "  ".join(

@@ -52,7 +52,12 @@ class Engine:
             raise SimulationError("trace has no memory layout")
         self.trace = trace
         self.machine = machine
-        self.shadow = ShadowMemory(trace.layout.total_words)
+        # The layout is fixed-aligned (trace-invariant across back ends),
+        # so pad the shadow to a whole number of *this* machine's lines —
+        # a line fill may slice past the last allocated word.
+        line_words = machine.cache.line_words
+        total = -(-trace.layout.total_words // line_words) * line_words
+        self.shadow = ShadowMemory(total)
         self.network = KruskalSnirNetwork(machine)
         self.ctx = SimContext(machine=machine, marking=marking,
                               shadow=self.shadow, network=self.network,
@@ -225,16 +230,16 @@ class Engine:
 
 
 DEFAULT_ENGINE = "fast"
-ENGINE_NAMES = ("fast", "reference")
+ENGINE_NAMES = ("fast", "gang", "reference")
 
 
 def resolve_engine(machine: MachineConfig) -> str:
     """Resolve a machine's ``engine`` field to a concrete engine name.
 
     ``"auto"`` defers to the ``REPRO_ENGINE`` environment variable and
-    then to :data:`DEFAULT_ENGINE`; the two engines are differentially
-    tested to produce bit-identical results (tests/test_engine_parity.py),
-    so the choice affects wall-clock only.
+    then to :data:`DEFAULT_ENGINE`; the engines are differentially
+    tested to produce bit-identical results (tests/test_engine_parity.py,
+    tests/test_gang.py), so the choice affects wall-clock only.
     """
     import os
 
@@ -249,8 +254,14 @@ def resolve_engine(machine: MachineConfig) -> str:
 
 def make_engine(trace: Trace, marking: Marking, machine: MachineConfig,
                 scheme_name: str) -> Engine:
-    """Instantiate the engine selected by ``machine.engine``/``REPRO_ENGINE``."""
-    if resolve_engine(machine) == "fast":
+    """Instantiate the engine selected by ``machine.engine``/``REPRO_ENGINE``.
+
+    ``"gang"`` maps to the fast engine here: a single (machine, scheme)
+    is a gang of one.  The config-axis sharing lives in
+    :func:`repro.sim.gang.prime_group`, which the executor applies to
+    whole groups before their members reach this call.
+    """
+    if resolve_engine(machine) in ("fast", "gang"):
         from repro.sim.fastengine import FastEngine
 
         return FastEngine(trace, marking, machine, scheme_name)

@@ -43,7 +43,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.coherence.batch import _Cols
-from repro.sim.engine import Engine
+from repro.common.errors import SimulationError
+from repro.sim.engine import Engine, _LockState
 from repro.sim.metrics import EpochRecord
 from repro.trace.columnar import KIND_WRITE, ColumnarEpoch
 from repro.trace.events import EventKind, MemEvent
@@ -65,7 +66,8 @@ class _TaskArrays:
                  "uniq_lines", "uniq_sets")
 
     def __init__(self, proc, extra_work, events, n, addr, site, work,
-                 shared, is_write, line_words: int, n_sets: int):
+                 shared, is_write, line_words: int, n_sets: int,
+                 geometry=None):
         self.proc = proc
         self.extra_work = extra_work
         self._events = events
@@ -75,9 +77,15 @@ class _TaskArrays:
         self.work = work
         self.shared = shared
         self.is_write = is_write
-        self.line = addr // line_words
-        self.set_ = self.line % n_sets
-        self.word = self.addr - self.line * line_words
+        if geometry is None:
+            self.line = addr // line_words
+            self.set_ = self.line % n_sets
+            self.word = addr - self.line * line_words
+        else:
+            # Gang priming resolves every member geometry in one
+            # (configs x events) broadcast and hands each row in here;
+            # the formulas are identical, so results cannot differ.
+            self.line, self.set_, self.word = geometry
         self.uniq_lines = np.unique(self.line)
         self.uniq_sets = np.unique(self.set_)
 
@@ -118,20 +126,26 @@ class _TaskArrays:
 
 class _EpochBatch:
     """Trace-static batching analysis of one epoch, cached on the epoch
-    (``TraceEpoch._batch``) and shared by every scheme simulated over the
-    trace in-process.  Everything here depends only on the event stream
-    and the cache geometry — never on runtime protocol state."""
+    (``TraceEpoch._batch``, a dict keyed by cache geometry) and shared by
+    every scheme — and every gang member with that geometry — simulated
+    over the trace in-process.  Everything here depends only on the event
+    stream and the cache geometry — never on runtime protocol state."""
 
     __slots__ = ("geometry", "has_sync", "tasks", "multi_lines",
                  "hot_written", "static_masks", "static_idx", "other_lines",
                  "preapply_cache")
 
-    def __init__(self, epoch, line_words: int, n_sets: int):
+    def __init__(self, epoch, line_words: int, n_sets: int, tasks=None):
         self.geometry = (line_words, n_sets)
         # Hot-rule keyed cache of the merged pre-apply window (or a bail
         # marker); shared across schemes and repeated simulations.
         self.preapply_cache = {}
-        if isinstance(epoch, ColumnarEpoch):
+        if tasks is not None:
+            # Gang priming pre-resolved the geometry (broadcast over the
+            # config axis); only non-sync epochs are primed.
+            self.has_sync = False
+            self.tasks = tasks
+        elif isinstance(epoch, ColumnarEpoch):
             self.has_sync = epoch.has_sync
             if self.has_sync:
                 self.tasks = []
@@ -195,6 +209,7 @@ class FastEngine(Engine):
         self._kernel = self.scheme.make_batch_kernel()
         self._epoch_words = 0
         self._plan_key = "none"
+        self._cur_batch = None
         self.batched_epochs = 0
         self.fallback_epochs = 0
 
@@ -209,10 +224,16 @@ class FastEngine(Engine):
             return None
         cache_cfg = self.machine.cache
         geometry = (cache_cfg.line_words, cache_cfg.n_sets)
-        batch = epoch._batch
-        if batch is None or batch.geometry != geometry:
-            batch = _EpochBatch(epoch, *geometry)
-            epoch._batch = batch
+        # One analysis per geometry, kept side by side so gang members
+        # with different geometries never evict each other's work.
+        batches = epoch._batch
+        if not isinstance(batches, dict):
+            batches = {}
+            epoch._batch = batches
+        batch = batches.get(geometry)
+        if batch is None:
+            batch = batches[geometry] = _EpochBatch(epoch, *geometry)
+        self._cur_batch = batch
         if batch.has_sync:
             return None
 
@@ -295,12 +316,113 @@ class FastEngine(Engine):
         hot_idx = self._plan_epoch(epoch)
         if hot_idx is None:
             self.fallback_epochs += 1
-            end_time = super()._run_epoch(epoch, global_time)
+            if len(epoch.tasks) == 1:
+                end_time = self._run_single_task_epoch(epoch, global_time)
+            else:
+                end_time = super()._run_epoch(epoch, global_time)
             if self._kernel is not None:
                 self._kernel.resync()
             return end_time
         self.batched_epochs += 1
         return self._run_epoch_fast(epoch, global_time, hot_idx)
+
+    def _run_single_task_epoch(self, epoch, global_time: int) -> int:
+        """Fallback epochs with one task need no scheduling heap.
+
+        A lone task's events execute in program order on one processor,
+        so the heap's push/pop per event is pure overhead — the dominant
+        cost of the many tiny serial epochs real programs carry.  Every
+        event still takes the scheme's exact per-event path with the
+        reference engine's accounting, so results are byte-identical.
+        """
+        machine = self.machine
+        result = self.result
+        breakdown = result.breakdown
+        stalls = self.scheme.begin_epoch(epoch.index, epoch.parallel)
+        self._epoch_words = 0
+        reads_before = result.reads
+        misses_before = result.read_misses
+
+        task = epoch.tasks[0]
+        proc = task.proc
+        base = global_time + machine.epoch_setup_cycles
+        breakdown["dispatch"] += base - global_time
+        stall = stalls.get(proc, 0)
+        breakdown["reset_stall"] += stall
+        clock = base + stall
+        if task.events:
+            locks: Dict[int, _LockState] = {}
+            for event in task.events:
+                clock += event.work
+                breakdown["busy"] += event.work
+                kind = event.kind
+                if kind is EventKind.READ or kind is EventKind.WRITE:
+                    clock += self._exec_event(proc, event)
+                elif kind is EventKind.LOCK:
+                    state = locks.setdefault(event.lock, _LockState())
+                    if state.held:
+                        # Single processor: re-locking a held lock can
+                        # never be released by anyone else.
+                        raise SimulationError(
+                            f"processor {proc} spun on lock {event.lock} "
+                            "a million times: probable deadlock")
+                    waited = max(clock, state.free_time) - clock
+                    acquire = self.network.control_latency()
+                    clock += waited + acquire
+                    breakdown["sync_stall"] += waited + acquire
+                    state.held = True
+                    state.holder = proc
+                    result.extra["lock_acquires"] = (
+                        result.extra.get("lock_acquires", 0) + 1)
+                elif kind is EventKind.UNLOCK:
+                    state = locks.setdefault(event.lock, _LockState())
+                    if not state.held or state.holder != proc:
+                        raise SimulationError(
+                            f"processor {proc} released lock {event.lock} it "
+                            "does not hold (mis-migrated critical section?)")
+                    r = self.scheme.release_fence(proc)
+                    clock += r.latency
+                    breakdown["sync_stall"] += r.latency
+                    result.note_traffic(r.read_words, r.write_words,
+                                        r.coherence_words)
+                    self._epoch_words += r.total_words
+                    state.held = False
+                    state.holder = -1
+                    state.free_time = clock
+                else:  # pragma: no cover - closed enum
+                    raise SimulationError(f"unknown event kind {kind}")
+            held = [lock for lock, state in locks.items() if state.held]
+            if held:
+                raise SimulationError(
+                    f"epoch {epoch.index} ended with locks held: {held}")
+            clock += task.extra_work
+            breakdown["busy"] += task.extra_work
+        else:
+            clock = base + stall
+
+        barrier_words = self.scheme.end_epoch(epoch.write_key)
+        for _proc, words in barrier_words.items():
+            if words:
+                result.note_traffic(0, words, 0)
+                self._epoch_words += words
+        self.shadow.barrier()
+
+        end_time = max(clock, base)
+        breakdown["barrier_idle"] += end_time - clock
+        breakdown["barrier_idle"] += ((machine.n_procs - 1)
+                                      * (end_time - global_time))
+        epoch_cycles = max(1, end_time - global_time)
+        self.network.observe_epoch(self._epoch_words, epoch_cycles,
+                                   machine.network_smoothing)
+        if machine.record_epochs:
+            result.epoch_records.append(EpochRecord(
+                index=epoch.index, parallel=epoch.parallel,
+                label=epoch.label, cycles=epoch_cycles,
+                reads=result.reads - reads_before,
+                read_misses=result.read_misses - misses_before,
+                words_injected=self._epoch_words,
+                network_load=self.network.rho))
+        return end_time
 
     def _run_epoch_fast(self, epoch, global_time: int,
                         hot_idx: List[np.ndarray]) -> int:
@@ -314,7 +436,7 @@ class FastEngine(Engine):
         if self._kernel is not None:
             self._kernel.begin_epoch()
 
-        batch = epoch._batch
+        batch = self._cur_batch
         preapplied = False
         if self._kernel is not None and getattr(self._kernel, "full_batch",
                                                 False):

@@ -64,9 +64,24 @@ def simulate(run: Union[Program, PreparedRun], scheme: str,
              params: Optional[Dict[str, int]] = None,
              opts: Optional[MarkingOptions] = None,
              migration: Optional[MigrationSpec] = None) -> SimResult:
-    """Simulate one scheme; accepts a Program or a PreparedRun."""
+    """Simulate one scheme; accepts a Program or a PreparedRun.
+
+    With a :class:`PreparedRun`, an explicit ``machine`` overrides the
+    back end while reusing the prepared front end — valid because traces
+    depend only on ``n_procs``/``schedule`` (the fingerprint split), so a
+    cache/timetag/latency sweep can gang many machines over one prepare.
+    """
     if isinstance(run, Program):
         run = prepare(run, machine, params, opts, migration)
+    elif machine is not None and machine is not run.machine:
+        if (machine.n_procs != run.machine.n_procs
+                or machine.schedule != run.machine.schedule):
+            from repro.common.errors import SimulationError
+
+            raise SimulationError(
+                "machine override changes front-end fields "
+                "(n_procs/schedule); prepare() again instead")
+        return make_engine(run.trace, run.marking, machine, scheme).run()
     return make_engine(run.trace, run.marking, run.machine, scheme).run()
 
 

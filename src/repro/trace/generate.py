@@ -58,8 +58,9 @@ class _Generator:
         self.machine = machine
         self.migration = migration
         self.env: Dict[str, int] = program.bind_params(params)
-        self.layout = MemoryLayout(program, machine.n_procs,
-                                   machine.cache.line_words)
+        # Fixed-alignment layout: the trace must not depend on back-end
+        # cache geometry, so one generation serves a whole line-size sweep.
+        self.layout = MemoryLayout(program, machine.n_procs)
         self.trace = Trace(program_name=program.name, n_procs=machine.n_procs,
                            layout=self.layout)
         self.serial_events: List[MemEvent] = []

@@ -1,8 +1,15 @@
 """Word-addressed memory layout for program arrays.
 
-Shared arrays get one line-aligned allocation; private arrays get one copy
+Shared arrays get one aligned allocation; private arrays get one copy
 per processor (Fortran-style task-private storage), so they still occupy
 cache space and can conflict with shared data in the simulated caches.
+
+Allocation alignment is the *fixed* :data:`LAYOUT_ALIGN_WORDS`, not the
+simulated cache line size: like a real allocator, the layout is a
+property of the program, so one trace serves every back-end cache
+geometry a sweep simulates over it (the gang path in docs/PERF.md).
+Lines wider than the alignment may straddle array boundaries, exactly as
+they do on hardware.
 """
 
 from __future__ import annotations
@@ -14,6 +21,11 @@ import numpy as np
 from repro.common.errors import SimulationError
 from repro.ir.program import Array, Program, Sharing
 
+#: Allocation alignment in words — matches the paper's default 4-word
+#: (16-byte) line.  Deliberately independent of ``CacheConfig.line_words``
+#: so traces are invariant across back-end cache sweeps.
+LAYOUT_ALIGN_WORDS = 4
+
 
 def _align_up(value: int, align: int) -> int:
     return (value + align - 1) // align * align
@@ -22,7 +34,8 @@ def _align_up(value: int, align: int) -> int:
 class MemoryLayout:
     """Assigns base word addresses to every (array, processor) instance."""
 
-    def __init__(self, program: Program, n_procs: int, line_words: int = 4):
+    def __init__(self, program: Program, n_procs: int,
+                 line_words: int = LAYOUT_ALIGN_WORDS):
         self.n_procs = n_procs
         self.line_words = line_words
         self._bases: Dict[Tuple[str, int], int] = {}

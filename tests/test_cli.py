@@ -122,10 +122,20 @@ class TestCliRuntime:
         assert main(["sweep", "ocean", "--axis", "line=1,4",
                      "--scheme", "tpi", "--size", "small", "--no-cache",
                      "--json", str(json_path)]) == 0
-        points = json.loads(json_path.read_text())
+        payload = json.loads(json_path.read_text())
+        points = payload["points"]
         assert len(points) == 2
         assert {p["labels"]["line"] for p in points} == {"4B", "16B"}
         assert all(p["result"]["scheme"] == "tpi" for p in points)
+        # Line size is back-end-only: both cells ganged over one trace.
+        assert payload["traces_generated"] == 1
+        assert payload["gang"]["traces_shared"] == 1
+        from repro.common.config import default_machine
+        from repro.sim.engine import resolve_engine
+        if resolve_engine(default_machine()) == "reference":
+            assert payload["gang"]["width"] == 0  # nothing primes
+        else:
+            assert payload["gang"]["width"] == 2
 
     def test_warm_cache_reports_hits_and_no_traces(self, capsys, tmp_path):
         args = ["sweep", "ocean", "--axis", "line=1,4", "--scheme", "tpi",

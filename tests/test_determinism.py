@@ -27,9 +27,11 @@ class TestFingerprints:
     def test_engine_choice_does_not_change_fingerprint(self):
         program = build_workload("ocean", size="small")
         fast = Job(program=program, scheme="tpi", machine=machine("fast"))
+        gang = Job(program=program, scheme="tpi", machine=machine("gang"))
         ref = Job(program=program, scheme="tpi", machine=machine("reference"))
-        assert fast.fingerprint() == ref.fingerprint()
-        assert fast.prepare_fingerprint() == ref.prepare_fingerprint()
+        assert fast.fingerprint() == gang.fingerprint() == ref.fingerprint()
+        assert (fast.prepare_fingerprint() == gang.prepare_fingerprint()
+                == ref.prepare_fingerprint())
 
     def test_scheme_and_machine_do_change_fingerprint(self):
         program = build_workload("ocean", size="small")
@@ -44,7 +46,7 @@ class TestByteIdenticalResults:
     def test_engines_render_identically(self):
         program = build_workload("trfd", size="small")
         renders = set()
-        for engine in ("fast", "reference"):
+        for engine in ("fast", "gang", "reference"):
             run = prepare(program, machine(engine))
             renders.add(canonical(simulate(run, "tpi")))
         assert len(renders) == 1

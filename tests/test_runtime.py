@@ -195,12 +195,21 @@ class TestSweepIntegration:
         assert [(p.labels, p.scheme, p.result) for p in serial] == \
                [(p.labels, p.scheme, p.result) for p in parallel]
 
-    def test_front_end_shared_per_distinct_machine(self):
+    def test_front_end_shared_across_backend_variants(self):
         telemetry = Telemetry()
         self._sweep().run(telemetry=telemetry)
-        # 4 grid cells x 2 schemes = 8 jobs over 4 distinct machines.
+        # 4 grid cells x 2 schemes = 8 jobs; line size and timetag width
+        # are back-end-only fields, so all 8 share ONE trace (the
+        # fingerprint split) and gang-prime over it.
         assert telemetry.jobs_submitted == 8
-        assert telemetry.traces_generated == 4
+        assert telemetry.traces_generated == 1
+        assert telemetry.traces_shared == 7
+        from repro.sim.engine import resolve_engine
+        if resolve_engine(MACHINE) == "reference":
+            assert telemetry.gang_width == 0  # reference members never prime
+        else:
+            assert telemetry.gang_width == 4
+            assert telemetry.phase_s.get("gang", 0.0) > 0.0
 
     def test_warm_cache_sweep(self, tmp_path):
         cache = ArtifactCache(tmp_path)
