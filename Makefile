@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper paper props lint clean
+.PHONY: install test bench bench-paper bench-serve paper props lint serve clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,15 @@ bench-paper:
 
 paper:
 	$(PYTHON) examples/reproduce_paper.py | tee paper_results.txt
+
+# Simulation-as-a-service (docs/SERVE.md): HTTP server on :8089 with the
+# sharded artifact cache; stop with Ctrl-C (drains in-flight requests).
+serve:
+	$(PYTHON) -m repro serve --host 127.0.0.1 --port 8089
+
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py --requests 400 \
+		--min-hit-rate 0.9 --out BENCH_serve.json
 
 props:
 	$(PYTHON) -m pytest tests/test_properties.py tests/test_properties_rich.py -q

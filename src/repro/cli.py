@@ -18,6 +18,13 @@ Commands
     1 findings (errors, or warnings with ``--strict``), 2 usage error.
 ``cache stats|clear``
     Inspect or empty the on-disk artifact cache.
+``serve [--host H] [--port P] [--peers LIST]``
+    Run the simulation-as-a-service HTTP server (``POST /simulate``,
+    ``POST /sweep``, ``GET /jobs/<id>``, ``GET /healthz``,
+    ``GET /stats``); see docs/SERVE.md.  Responses are byte-identical
+    to the matching ``--json`` CLI output; identical in-flight requests
+    are coalesced; warm requests are served straight from the (sharded,
+    peer-aware) artifact cache.
 
 ``simulate``, ``experiment``, and ``sweep`` all execute through the
 :mod:`repro.runtime` engine and share its flags: ``--jobs N`` fans
@@ -49,11 +56,11 @@ from repro.workloads import build_workload, workload_names
 def _add_runtime_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="worker processes (0 = all cores; default 1)")
-    sub.add_argument("--engine", choices=("fast", "gang", "reference"),
-                     help="simulation engine (default $REPRO_ENGINE or fast; "
-                          "gang shares trace-static analyses across sweep "
-                          "variants; the engines are bit-identical, see "
-                          "docs/PERF.md)")
+    sub.add_argument("--engine", metavar="NAME",
+                     help="simulation engine: fast, gang, or reference "
+                          "(default $REPRO_ENGINE or fast; gang shares "
+                          "trace-static analyses across sweep variants; the "
+                          "engines are bit-identical, see docs/PERF.md)")
     sub.add_argument("--cache-dir", metavar="PATH",
                      help="artifact cache location (default ~/.cache/repro "
                           "or $REPRO_CACHE_DIR)")
@@ -139,19 +146,54 @@ def _build_parser() -> argparse.ArgumentParser:
     cch.add_argument("--cache-dir", metavar="PATH",
                      help="cache location (default ~/.cache/repro "
                           "or $REPRO_CACHE_DIR)")
+
+    srv = sub.add_parser("serve",
+                         help="run the simulation-as-a-service HTTP server")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8089,
+                     help="bind port (default 8089; 0 = ephemeral)")
+    srv.add_argument("--dispatchers", type=int, default=2, metavar="N",
+                     help="concurrent cold-request dispatches (default 2); "
+                          "each dispatch may fan out over --jobs workers")
+    srv.add_argument("--timeout", type=float, metavar="SECONDS",
+                     help="per-job wall-clock bound inside the executor")
+    srv.add_argument("--drain-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="how long shutdown waits for in-flight requests")
+    srv.add_argument("--peers", metavar="LIST",
+                     help="comma-separated peer cache roots (directories "
+                          "and/or http://host:port serve endpoints) for "
+                          "read-through; default $REPRO_CACHE_PEERS")
+    _add_runtime_args(srv)
     return parser
+
+
+def _apply_engine(args) -> None:
+    """Validate ``--engine`` and export it to the runtime/workers.
+
+    The env var is how the choice reaches machine configs built deep
+    inside experiments, and worker processes inherit it.  An unknown
+    name is a one-line usage error (exit 2), not a traceback.
+    """
+    import os
+
+    choice = getattr(args, "engine", None)
+    if not choice:
+        return
+    from repro.sim.engine import ENGINE_NAMES
+
+    if choice not in ENGINE_NAMES:
+        raise ReproError(f"unknown engine {choice!r}; choose from "
+                         f"{', '.join(ENGINE_NAMES)} (see docs/PERF.md)")
+    os.environ["REPRO_ENGINE"] = choice
 
 
 def _runtime_from_args(args):
     """Resolve the shared runtime flags into (jobs, cache, telemetry)."""
-    import os
-
     from repro.runtime import ArtifactCache, Telemetry
 
-    if getattr(args, "engine", None):
-        # The env var is how the choice reaches machine configs built deep
-        # inside experiments, and worker processes inherit it.
-        os.environ["REPRO_ENGINE"] = args.engine
+    _apply_engine(args)
     cache = None if args.no_cache else ArtifactCache(args.cache_dir)
     return args.jobs, cache, Telemetry()
 
@@ -190,13 +232,9 @@ def _cmd_simulate(args) -> int:
         print(results[scheme].summary())
         print()
     if args.json:
-        payload = {scheme: result.to_dict()
-                   for scheme, result in results.items()}
-        if telemetry.phase_s:
-            payload["phases"] = {phase: round(seconds, 6)
-                                 for phase, seconds
-                                 in sorted(telemetry.phase_s.items())}
-        write_json(payload, args.json)
+        from repro.serve.payloads import simulate_payload
+
+        write_json(simulate_payload(results, telemetry), args.json)
     _finish_run(args, telemetry)
     return 0
 
@@ -225,30 +263,15 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from repro.runtime import write_json
-    from repro.sim.sweep import (
-        Sweep,
-        axis_cache_lines,
-        axis_cache_sizes,
-        axis_procs,
-        axis_timetag_bits,
-        axis_write_buffer,
-    )
+    from repro.sim.sweep import sweep_from_specs
 
-    makers = {
-        "line": lambda values: axis_cache_lines([int(v) for v in values]),
-        "size": lambda values: axis_cache_sizes([int(v) for v in values]),
-        "k": lambda values: axis_timetag_bits([int(v) for v in values]),
-        "procs": lambda values: axis_procs([int(v) for v in values]),
-        "wbuf": lambda values: axis_write_buffer(),
-    }
-    sweep = Sweep(build_workload(args.workload, size=args.size),
-                  schemes=tuple(args.scheme or ("tpi", "hw")))
-    for spec in args.axis:
-        name, _, raw = spec.partition("=")
-        if name not in makers:
-            raise SystemExit(f"unknown axis {name!r}; choose from {sorted(makers)}")
-        values = [v for v in raw.split(",") if v]
-        sweep.add_axis(name, makers[name](values))
+    try:
+        sweep = sweep_from_specs(build_workload(args.workload, size=args.size),
+                                 args.axis,
+                                 schemes=tuple(args.scheme or ("tpi", "hw")))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
     jobs, cache, telemetry = _runtime_from_args(args)
     points = sweep.run(jobs=jobs, cache=cache, telemetry=telemetry)
     label_names = [name for name, _ in sweep._axes]
@@ -260,17 +283,9 @@ def _cmd_sweep(args) -> int:
         print(f"{labels}  {point.scheme:>7}  {r.exec_cycles:>9}  "
               f"{100 * r.miss_rate:>7.2f}  {r.avg_miss_latency:>8.1f}")
     if args.json:
-        write_json({
-            "points": [{"labels": point.labels, "scheme": point.scheme,
-                        "result": point.result.to_dict()}
-                       for point in points],
-            "traces_generated": telemetry.traces_generated,
-            "gang": {"traces_shared": telemetry.traces_shared,
-                     "results_shared": telemetry.results_shared,
-                     "width": telemetry.gang_width},
-            "phases": {phase: round(seconds, 6)
-                       for phase, seconds in sorted(telemetry.phase_s.items())},
-        }, args.json)
+        from repro.serve.payloads import sweep_payload
+
+        write_json(sweep_payload(points, telemetry), args.json)
     _finish_run(args, telemetry)
     return 0
 
@@ -338,6 +353,52 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.runtime import ShardedCache, Telemetry
+    from repro.serve import ServeConfig, ServeServer, SimulationService
+
+    _apply_engine(args)
+    peers = (None if args.peers is None
+             else [p.strip() for p in args.peers.split(",") if p.strip()])
+    cache = None if args.no_cache else ShardedCache(args.cache_dir,
+                                                    peers=peers)
+    config = ServeConfig(jobs=args.jobs, dispatchers=args.dispatchers,
+                         timeout=args.timeout)
+    telemetry = Telemetry()
+    service = SimulationService(cache=cache, config=config,
+                                telemetry=telemetry)
+    server = ServeServer(service, host=args.host, port=args.port,
+                         drain_timeout=args.drain_timeout)
+
+    async def run() -> None:
+        try:
+            await server.start()
+        except OSError as exc:
+            raise ReproError(
+                f"cannot bind {args.host}:{args.port}: "
+                f"{exc.strerror or exc}") from None
+        peers_note = (f", peers {','.join(p.name for p in cache.peers)}"
+                      if cache is not None and cache.peers else "")
+        print(f"repro serve listening on http://{args.host}:{server.port} "
+              f"(jobs={config.jobs}, dispatchers={config.dispatchers}, "
+              f"cache={'off' if cache is None else cache.root}{peers_note})",
+              flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await server.serve_until_stopped()
+
+    asyncio.run(run())
+    _finish_run(args, telemetry)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -348,6 +409,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": lambda: _cmd_sweep(args),
         "lint": lambda: _cmd_lint(args),
         "cache": lambda: _cmd_cache(args),
+        "serve": lambda: _cmd_serve(args),
     }
     try:
         return handlers[args.command]()

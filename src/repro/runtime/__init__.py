@@ -42,7 +42,14 @@ from repro.runtime.jobs import (
     jobs_for_schemes,
     program_digest,
 )
-from repro.runtime.telemetry import JobRecord, RunReport, Telemetry, write_json
+from repro.runtime.shardcache import ShardedCache, peers_from_env
+from repro.runtime.telemetry import (
+    JobRecord,
+    RunReport,
+    Telemetry,
+    percentile,
+    write_json,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -55,6 +62,7 @@ __all__ = [
     "ParallelExecutor",
     "RunReport",
     "RuntimeSession",
+    "ShardedCache",
     "Telemetry",
     "cache_salt",
     "canonical_json",
@@ -65,6 +73,8 @@ __all__ = [
     "expand_sweep",
     "group_by_prepare",
     "jobs_for_schemes",
+    "peers_from_env",
+    "percentile",
     "program_digest",
     "session",
     "write_json",

@@ -148,27 +148,47 @@ class ArtifactCache:
     # ----------------------------------------------------------- management
 
     def stats(self) -> CacheStats:
+        """Entry counts per kind; safe against concurrent mutation.
+
+        Another worker may be populating or clearing the same root while
+        this scan runs (the serve deployment does exactly that), so a
+        directory or entry vanishing mid-iteration is counted as absent —
+        zeroed stats, never a traceback.
+        """
         stats = CacheStats(root=str(self.root))
         for kind in _KINDS:
             kind_dir = self.base / kind
             count = size = 0
-            if kind_dir.is_dir():
-                for entry in kind_dir.rglob("*.pkl"):
-                    try:
-                        size += entry.stat().st_size
-                        count += 1
-                    except OSError:
-                        continue
+            try:
+                if kind_dir.is_dir():
+                    for entry in kind_dir.rglob("*.pkl"):
+                        try:
+                            size += entry.stat().st_size
+                            count += 1
+                        except OSError:
+                            continue
+            except OSError:
+                # The kind directory itself was removed mid-scan.
+                count = size = 0
             stats.entries[kind] = count
             stats.bytes[kind] = size
         return stats
 
     def clear(self) -> int:
-        """Remove every cached artifact; returns the number removed."""
+        """Remove every cached artifact; returns the number removed.
+
+        Like :meth:`stats`, this tolerates a racing worker deleting (or
+        re-creating) entries mid-walk: whatever this process removed is
+        counted, everything else is skipped.
+        """
         removed = 0
-        if not self.base.is_dir():
+        try:
+            if not self.base.is_dir():
+                return removed
+            entries = sorted(self.base.rglob("*"), reverse=True)
+        except OSError:
             return removed
-        for entry in sorted(self.base.rglob("*"), reverse=True):
+        for entry in entries:
             try:
                 if entry.is_dir():
                     entry.rmdir()

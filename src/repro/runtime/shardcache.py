@@ -1,0 +1,206 @@
+"""Sharded, read-through artifact cache for multi-host deployments.
+
+:class:`ShardedCache` keeps the exact on-disk layout of
+:class:`~repro.runtime.cache.ArtifactCache` — entries live under
+``<root>/v<N>/<kind>/<key[:2]>/<key>.pkl`` — but makes the fingerprint
+prefix an explicit *shard*: the first :data:`SHARD_WIDTH` hex digits of a
+key name one of 256 shard directories.  Because fingerprints are uniform
+content hashes, shards stay balanced without bookkeeping, ``shard_stats``
+can report per-shard occupancy for capacity planning, and operators can
+mount or sync shard subtrees independently.
+
+On top of the local store it adds an optional *read-through peer tier*:
+a list of other cache roots (plain directories, e.g. an NFS mount that
+another host populates) and/or ``http(s)://host:port`` endpoints of
+running ``repro serve`` instances, each consulted in order on a local
+miss.  A peer hit is re-validated (unpickled) and then written into the
+local shard, so N hosts converge on a shared warm set while every host
+keeps serving from its own disk.  Peer population is *single-flight* —
+concurrent local misses on one key fetch from the peers once — and every
+peer failure (unreachable host, truncated pickle, permission error) is
+swallowed: the worst case is always "compute locally", never an error.
+
+Peers come from the constructor or the ``REPRO_CACHE_PEERS`` environment
+variable (comma-separated paths/URLs).  Entries containing ``://`` are
+treated as HTTP endpoints serving ``GET /artifact/<kind>/<key>`` (the
+:mod:`repro.serve` server exposes this route); everything else is a
+filesystem root laid out like a local cache.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.runtime.cache import CACHE_VERSION, ArtifactCache, _KINDS
+
+SHARD_WIDTH = 2
+"""Hex digits of the fingerprint that name a shard (2 -> 256 shards)."""
+
+PEER_TIMEOUT_S = 2.0
+"""Per-request timeout for HTTP peers; a slow peer must never stall the
+local fallback path for long."""
+
+
+def peers_from_env() -> List[str]:
+    """Parse ``REPRO_CACHE_PEERS`` into a peer list (may be empty)."""
+    raw = os.environ.get("REPRO_CACHE_PEERS", "")
+    return [entry.strip() for entry in raw.split(",") if entry.strip()]
+
+
+class _PathPeer:
+    """A peer that is another cache root on a reachable filesystem."""
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.name = str(root)
+        self.base = Path(root) / f"v{CACHE_VERSION}"
+
+    def fetch(self, kind: str, key: str) -> Optional[bytes]:
+        path = self.base / kind / key[:SHARD_WIDTH] / f"{key}.pkl"
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+
+class _HttpPeer:
+    """A peer that is a running ``repro serve`` instance."""
+
+    def __init__(self, url: str, timeout: float = PEER_TIMEOUT_S):
+        self.name = url.rstrip("/")
+        self.timeout = timeout
+
+    def fetch(self, kind: str, key: str) -> Optional[bytes]:
+        url = f"{self.name}/artifact/{kind}/{key}"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+                if resp.status != 200:
+                    return None
+                return resp.read()
+        except (urllib.error.URLError, OSError, ValueError):
+            return None
+
+
+def _make_peer(spec: str) -> Union[_PathPeer, _HttpPeer]:
+    if "://" in spec:
+        return _HttpPeer(spec)
+    return _PathPeer(spec)
+
+
+class ShardedCache(ArtifactCache):
+    """Local artifact cache with explicit shards and a peer tier.
+
+    Drop-in for :class:`ArtifactCache` everywhere (the executor, the
+    serve service, the CLI): same layout, same atomic-rename stores, same
+    corruption tolerance.  ``load`` additionally falls through to the
+    configured peers on a local miss.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 peers: Optional[Sequence[str]] = None):
+        super().__init__(root)
+        if peers is None:
+            peers = peers_from_env()
+        self.peers = [_make_peer(spec) for spec in peers]
+        self.counters: Dict[str, int] = {
+            "local_hits": 0, "peer_hits": 0, "misses": 0, "peer_errors": 0}
+        self._flight_guard = threading.Lock()
+        self._flights: Dict[str, threading.Lock] = {}
+
+    # ----------------------------------------------------------------- load
+
+    def load(self, kind: str, key: str) -> Optional[Any]:
+        hit = super().load(kind, key)
+        if hit is not None:
+            self.counters["local_hits"] += 1
+            return hit
+        if not self.peers:
+            self.counters["misses"] += 1
+            return None
+        return self._load_via_peers(kind, key)
+
+    def _load_via_peers(self, kind: str, key: str) -> Optional[Any]:
+        """Single-flight peer fetch: one thread fetches, the rest reuse."""
+        token = f"{kind}:{key}"
+        with self._flight_guard:
+            lock = self._flights.setdefault(token, threading.Lock())
+        with lock:
+            # A concurrent flight may have populated the local shard
+            # while this thread waited on the lock.
+            hit = super().load(kind, key)
+            if hit is not None:
+                self.counters["local_hits"] += 1
+                return hit
+            obj = self._fetch_remote(kind, key)
+        with self._flight_guard:
+            self._flights.pop(token, None)
+        if obj is None:
+            self.counters["misses"] += 1
+        return obj
+
+    def _fetch_remote(self, kind: str, key: str) -> Optional[Any]:
+        for peer in self.peers:
+            payload = peer.fetch(kind, key)
+            if payload is None:
+                continue
+            try:
+                obj = pickle.loads(payload)
+            except Exception:
+                # A peer's truncated or foreign entry must degrade to a
+                # local compute, never poison this host.
+                self.counters["peer_errors"] += 1
+                continue
+            self.counters["peer_hits"] += 1
+            self.store(kind, key, obj)  # warm the local shard
+            return obj
+        return None
+
+    # ---------------------------------------------------------------- shards
+
+    @staticmethod
+    def shard_of(key: str) -> str:
+        """The shard (fingerprint prefix directory) a key lives in."""
+        return key[:SHARD_WIDTH]
+
+    def shard_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard entry counts across all artifact kinds.
+
+        Tolerates concurrent mutation the same way
+        :meth:`ArtifactCache.stats` does: a directory or entry vanishing
+        mid-scan is skipped, never a traceback.
+        """
+        shards: Dict[str, Dict[str, int]] = {}
+        for kind in _KINDS:
+            kind_dir = self.base / kind
+            try:
+                prefixes = sorted(p for p in kind_dir.iterdir() if p.is_dir())
+            except OSError:
+                continue
+            for prefix in prefixes:
+                try:
+                    count = sum(1 for _ in prefix.glob("*.pkl"))
+                except OSError:
+                    continue
+                if count:
+                    entry = shards.setdefault(prefix.name,
+                                              {"entries": 0, "kinds": 0})
+                    entry["entries"] += count
+                    entry["kinds"] += 1
+        return shards
+
+    # ------------------------------------------------------------- reporting
+
+    def describe(self) -> Dict[str, Any]:
+        """Counters + topology snapshot for ``/stats``."""
+        return {
+            "root": str(self.root),
+            "peers": [peer.name for peer in self.peers],
+            "shard_width": SHARD_WIDTH,
+            "counters": dict(self.counters),
+            "shards": len(self.shard_stats()),
+        }

@@ -26,6 +26,21 @@ def write_json(payload: Any, path: Union[str, os.PathLike, IO[str]]) -> None:
         handle.write("\n")
 
 
+SERVE_LATENCY_CAP = 4096
+"""Latency samples kept for the serve p50/p99 (a sliding window, so the
+percentiles track steady state rather than all of history)."""
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a sample list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
 @dataclass
 class JobRecord:
     """Outcome of one job: where it ran, how long, and from which source."""
@@ -67,6 +82,19 @@ class Telemetry:
     """Cumulative wall seconds per pipeline phase (``compile``,
     ``trace``, ``gang``, ``engine``), summed across workers — front-end
     vs config-axis priming vs engine cost per run at a glance."""
+    serve_requests: int = 0
+    """Requests answered by a :mod:`repro.serve` service sharing this
+    telemetry (0 outside a serve deployment)."""
+    serve_hits: int = 0
+    """Serve requests answered entirely from the artifact cache —
+    the worker pool was never touched."""
+    serve_coalesced: int = 0
+    """Serve requests that awaited an identical in-flight request
+    instead of dispatching their own simulation."""
+    serve_errors: int = 0
+    serve_latency_s: List[float] = field(default_factory=list)
+    """Recent per-request wall times (capped ring; see
+    :data:`SERVE_LATENCY_CAP`) backing the ``/stats`` p50/p99."""
 
     # ------------------------------------------------------------ recording
 
@@ -85,6 +113,20 @@ class Telemetry:
     def note_job(self, record: JobRecord) -> None:
         self.records.append(record)
 
+    def note_request(self, latency_s: float, source: str) -> None:
+        """Record one serve request (``source``: hit/coalesced/computed/
+        error) and its wall time into the capped latency ring."""
+        self.serve_requests += 1
+        if source == "hit":
+            self.serve_hits += 1
+        elif source == "coalesced":
+            self.serve_coalesced += 1
+        elif source == "error":
+            self.serve_errors += 1
+        self.serve_latency_s.append(latency_s)
+        if len(self.serve_latency_s) > SERVE_LATENCY_CAP:
+            del self.serve_latency_s[:-SERVE_LATENCY_CAP]
+
     def note_phase(self, phase: str, seconds: float) -> None:
         self.phase_s[phase] = self.phase_s.get(phase, 0.0) + seconds
 
@@ -94,6 +136,26 @@ class Telemetry:
     def cache_hit_rate(self) -> float:
         lookups = self.result_hits + self.result_misses
         return self.result_hits / lookups if lookups else 0.0
+
+    @property
+    def serve_hit_rate(self) -> float:
+        """Fraction of serve requests that never reached the pool
+        (cache hits plus coalesced waiters)."""
+        if not self.serve_requests:
+            return 0.0
+        return (self.serve_hits + self.serve_coalesced) / self.serve_requests
+
+    def serve_section(self) -> Dict[str, Any]:
+        """The ``serve`` block of a run report / ``/stats`` payload."""
+        return {
+            "requests": self.serve_requests,
+            "hits": self.serve_hits,
+            "coalesced": self.serve_coalesced,
+            "errors": self.serve_errors,
+            "hit_rate": round(self.serve_hit_rate, 4),
+            "p50_ms": round(1e3 * percentile(self.serve_latency_s, 50), 3),
+            "p99_ms": round(1e3 * percentile(self.serve_latency_s, 99), 3),
+        }
 
     def worker_utilization(self) -> Dict[int, float]:
         """Per-worker-pid busy seconds (from job wall times)."""
@@ -133,6 +195,7 @@ class RunReport:
             },
             "phases": {phase: round(seconds, 6)
                        for phase, seconds in sorted(t.phase_s.items())},
+            **({"serve": t.serve_section()} if t.serve_requests else {}),
             "retries": t.retries,
             "worker_busy_s": {str(pid): round(busy, 6)
                               for pid, busy in sorted(t.worker_utilization().items())},
@@ -156,6 +219,14 @@ class RunReport:
             lines.append("phases: " + "  ".join(
                 f"{phase} {seconds:.3f}s"
                 for phase, seconds in sorted(t.phase_s.items())))
+        if t.serve_requests:
+            serve = t.serve_section()
+            lines.append(
+                f"serve: {serve['requests']} request(s), "
+                f"{serve['hits']} hit / {serve['coalesced']} coalesced "
+                f"({100 * serve['hit_rate']:.0f}%), "
+                f"p50 {serve['p50_ms']:.2f}ms p99 {serve['p99_ms']:.2f}ms, "
+                f"{serve['errors']} error(s)")
         if t.records:
             width = max(len(r.label) for r in t.records)
             lines.append(f"{'job'.ljust(width)}  {'source':>8}  {'wall':>8}  worker")

@@ -90,6 +90,53 @@ class Sweep:
                 for job, result in zip(job_list, results)]
 
 
+#: Axis names accepted by :func:`axis_from_spec` (the CLI/server grammar).
+AXIS_SPEC_NAMES = ("line", "size", "k", "procs", "wbuf")
+
+
+def axis_from_spec(spec: str) -> Tuple[str, Axis]:
+    """Parse one ``name=v1,v2,...`` axis spec into ``(name, axis)``.
+
+    The grammar shared by ``repro sweep --axis`` and the ``axes`` field
+    of a ``POST /sweep`` request: ``line=<words>``, ``size=<KB>``,
+    ``k=<bits>``, ``procs=<N>`` take comma-separated integers; ``wbuf``
+    takes no values.  Raises :class:`ValueError` with an actionable
+    message on an unknown name or a non-integer value.
+    """
+    name, _, raw = spec.partition("=")
+    values = [v for v in raw.split(",") if v]
+    if name not in AXIS_SPEC_NAMES:
+        raise ValueError(f"unknown axis {name!r}; choose from "
+                         f"{', '.join(AXIS_SPEC_NAMES)}")
+    if name == "wbuf":
+        return name, axis_write_buffer()
+    try:
+        numbers = [int(v) for v in values]
+    except ValueError:
+        raise ValueError(f"axis {name!r} takes comma-separated integers, "
+                         f"got {raw!r}") from None
+    if not numbers:
+        raise ValueError(f"axis {name!r} needs at least one value, "
+                         f"e.g. {name}=1,4")
+    makers = {"line": axis_cache_lines, "size": axis_cache_sizes,
+              "k": axis_timetag_bits, "procs": axis_procs}
+    return name, makers[name](numbers)
+
+
+def sweep_from_specs(program: Program, specs: Sequence[str],
+                     schemes: Sequence[str] = ("tpi", "hw"),
+                     base: Optional[MachineConfig] = None,
+                     params: Optional[Dict[str, int]] = None) -> Sweep:
+    """Build a :class:`Sweep` from textual axis specs (CLI/server shape)."""
+    if not specs:
+        raise ValueError("sweep needs at least one axis spec")
+    sweep = Sweep(program, schemes=tuple(schemes), base=base, params=params)
+    for spec in specs:
+        name, axis = axis_from_spec(spec)
+        sweep.add_axis(name, axis)
+    return sweep
+
+
 def axis_cache_lines(line_words: Iterable[int]) -> Axis:
     def make(words: int) -> Transform:
         def transform(m: MachineConfig) -> MachineConfig:

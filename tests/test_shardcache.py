@@ -1,0 +1,221 @@
+"""Tests for the sharded read-through cache and cache concurrency.
+
+Covers the :class:`~repro.runtime.shardcache.ShardedCache` peer tier
+(path peers, corruption tolerance, single-flight population) plus two
+properties the serve deployment depends on:
+
+* concurrent writers on one fingerprint never corrupt the entry (the
+  atomic temp-file/rename store);
+* a reader racing a writer sees either a miss or a complete artifact —
+  never a partial pickle;
+* ``stats``/``clear`` tolerate another worker mutating the directory
+  tree mid-scan.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.runtime import ArtifactCache, ShardedCache
+from repro.runtime.cache import KIND_RESULT
+from repro.runtime.shardcache import peers_from_env
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "0" * 62
+
+
+def _spin_writer(root, key, rounds):
+    """Store `rounds` distinguishable-but-valid payloads on one key."""
+    cache = ArtifactCache(root)
+    for i in range(rounds):
+        payload = {"round": i, "blob": list(range(200))}
+        assert cache.store(KIND_RESULT, key, payload)
+    return rounds
+
+
+def _spin_reader(root, key, rounds):
+    """Load repeatedly; every hit must be a complete artifact."""
+    cache = ArtifactCache(root)
+    complete = 0
+    for _ in range(rounds):
+        hit = cache.load(KIND_RESULT, key)
+        if hit is None:
+            continue  # a miss is legal mid-race; a partial pickle is not
+        assert set(hit) == {"round", "blob"}
+        assert hit["blob"] == list(range(200))
+        complete += 1
+    return complete
+
+
+class TestConcurrentWriters:
+    def test_two_processes_writing_one_fingerprint(self, tmp_path):
+        root = str(tmp_path / "cache")
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(_spin_writer, root, KEY, 60)
+                       for _ in range(2)]
+            for future in futures:
+                assert future.result() == 60
+        cache = ArtifactCache(root)
+        final = cache.load(KIND_RESULT, KEY)
+        assert final is not None and final["round"] == 59
+        # exactly one entry on disk, no leftover temp files
+        shard = cache._path(KIND_RESULT, KEY).parent
+        assert [p.name for p in shard.iterdir()] == [f"{KEY}.pkl"]
+
+    def test_reader_racing_writer_sees_miss_or_complete(self, tmp_path):
+        root = str(tmp_path / "cache")
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            writer = pool.submit(_spin_writer, root, KEY, 120)
+            reader = pool.submit(_spin_reader, root, KEY, 400)
+            assert writer.result() == 120
+            reader.result()  # raises if any load returned a partial pickle
+
+    def test_partial_pickle_on_disk_is_a_tolerated_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        cache.store(KIND_RESULT, KEY, {"ok": True})
+        path = cache._path(KIND_RESULT, KEY)
+        path.write_bytes(path.read_bytes()[:10])  # truncate mid-pickle
+        assert cache.load(KIND_RESULT, KEY) is None
+        assert not path.exists()  # the damaged entry was evicted
+
+
+class TestStatsClearTolerance:
+    def test_stats_on_missing_root_is_zeroed(self, tmp_path):
+        stats = ArtifactCache(tmp_path / "never-created").stats()
+        assert stats.total_entries == 0
+        assert stats.total_bytes == 0
+
+    def test_clear_on_missing_root_returns_zero(self, tmp_path):
+        assert ArtifactCache(tmp_path / "never-created").clear() == 0
+
+    def test_stats_tolerates_directory_vanishing_mid_scan(self, tmp_path,
+                                                          monkeypatch):
+        import pathlib
+
+        cache = ArtifactCache(tmp_path / "cache")
+        cache.store(KIND_RESULT, KEY, {"ok": True})
+
+        def exploding_rglob(self, pattern):
+            raise FileNotFoundError(str(self))
+
+        monkeypatch.setattr(pathlib.Path, "rglob", exploding_rglob)
+        stats = cache.stats()  # zeroed, not a traceback
+        assert stats.total_entries == 0
+
+    def test_clear_tolerates_racing_deletion(self, tmp_path, monkeypatch):
+        import pathlib
+
+        cache = ArtifactCache(tmp_path / "cache")
+        cache.store(KIND_RESULT, KEY, {"ok": True})
+        real_unlink = pathlib.Path.unlink
+
+        def racing_unlink(self, *args, **kwargs):
+            real_unlink(self, *args, **kwargs)  # someone else got it first
+            raise FileNotFoundError(str(self))
+
+        monkeypatch.setattr(pathlib.Path, "unlink", racing_unlink)
+        assert cache.clear() == 0  # nothing *we* removed, and no traceback
+        monkeypatch.undo()
+        assert cache.load(KIND_RESULT, KEY) is None
+
+
+class TestShardedCache:
+    def test_layout_is_artifactcache_compatible(self, tmp_path):
+        plain = ArtifactCache(tmp_path / "cache")
+        sharded = ShardedCache(tmp_path / "cache", peers=[])
+        plain.store(KIND_RESULT, KEY, {"v": 1})
+        assert sharded.load(KIND_RESULT, KEY) == {"v": 1}
+        assert sharded._path(KIND_RESULT, KEY) == plain._path(KIND_RESULT, KEY)
+        assert ShardedCache.shard_of(KEY) == "ab"
+
+    def test_path_peer_read_through_promotes_locally(self, tmp_path):
+        peer = ArtifactCache(tmp_path / "peer")
+        peer.store(KIND_RESULT, KEY, {"v": 2})
+        local = ShardedCache(tmp_path / "local", peers=[str(tmp_path / "peer")])
+        assert local.load(KIND_RESULT, KEY) == {"v": 2}
+        assert local.counters["peer_hits"] == 1
+        # promoted: a second load is a local hit even with the peer gone
+        local.peers = []
+        assert local.load(KIND_RESULT, KEY) == {"v": 2}
+        assert local.counters["local_hits"] == 1
+
+    def test_corrupt_peer_entry_degrades_to_miss(self, tmp_path):
+        peer = ArtifactCache(tmp_path / "peer")
+        path = peer._path(KIND_RESULT, OTHER)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        local = ShardedCache(tmp_path / "local", peers=[str(tmp_path / "peer")])
+        assert local.load(KIND_RESULT, OTHER) is None
+        assert local.counters["peer_errors"] == 1
+        assert local.counters["misses"] == 1
+
+    def test_unreachable_peers_fall_back_to_compute(self, tmp_path):
+        local = ShardedCache(tmp_path / "local",
+                             peers=[str(tmp_path / "gone"),
+                                    "http://127.0.0.1:1/"])
+        # ShardedCache collapses the HTTP timeout for the test's sake by
+        # pointing at a closed local port — connection refused is instant.
+        assert local.load(KIND_RESULT, KEY) is None
+        assert local.counters["misses"] == 1
+
+    def test_single_flight_peer_population(self, tmp_path):
+        fetches = []
+        barrier = threading.Barrier(4)
+
+        class CountingPeer:
+            name = "counting"
+
+            def fetch(self, kind, key):
+                import pickle
+
+                fetches.append(key)
+                return pickle.dumps({"v": 3})
+
+        local = ShardedCache(tmp_path / "local", peers=[])
+        local.peers = [CountingPeer()]
+
+        def load():
+            barrier.wait()
+            assert local.load(KIND_RESULT, KEY) == {"v": 3}
+
+        threads = [threading.Thread(target=load) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # one flight fetched; the rest were served from the local shard
+        assert len(fetches) == 1
+
+    def test_shard_stats_and_describe(self, tmp_path):
+        local = ShardedCache(tmp_path / "local", peers=["peer-a"])
+        local.store(KIND_RESULT, KEY, {"v": 1})
+        local.store(KIND_RESULT, OTHER, {"v": 2})
+        shards = local.shard_stats()
+        assert shards["ab"]["entries"] == 1
+        assert shards["cd"]["entries"] == 1
+        info = local.describe()
+        assert info["peers"] == ["peer-a"]
+        assert info["shards"] == 2
+        assert info["counters"]["misses"] == 0
+
+    def test_peers_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_PEERS",
+                           " /a/b , http://h:1 ,, ")
+        assert peers_from_env() == ["/a/b", "http://h:1"]
+        monkeypatch.delenv("REPRO_CACHE_PEERS")
+        assert peers_from_env() == []
+
+    def test_executor_accepts_sharded_cache(self, tmp_path):
+        """Drop-in property: the executor runs unchanged on a ShardedCache."""
+        from repro.common.config import default_machine
+        from repro.runtime import Job, execute_jobs
+        from repro.workloads import build_workload
+
+        cache = ShardedCache(tmp_path / "cache", peers=[])
+        job = Job(program=build_workload("ocean", size="small"),
+                  scheme="tpi", machine=default_machine().with_(n_procs=4))
+        first = execute_jobs([job], cache=cache)
+        again = execute_jobs([job], cache=cache)
+        assert first[0].to_dict() == again[0].to_dict()
+        assert cache.counters["local_hits"] >= 1
