@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper bench-serve paper props lint serve clean
+.PHONY: install test bench bench-paper bench-serve paper props lint \
+	modelcheck serve clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -37,10 +38,17 @@ lint:
 	$(PYTHON) -m repro lint all --size small --self-test
 	@$(PYTHON) -c "import ruff" 2>/dev/null \
 		&& $(PYTHON) -m ruff check src/repro \
+		&& $(PYTHON) -m ruff check --select B,SIM src/repro/analysis \
 		|| echo "ruff not installed; skipping (pip install -e .[lint])"
 	@$(PYTHON) -c "import mypy" 2>/dev/null \
 		&& $(PYTHON) -m mypy \
 		|| echo "mypy not installed; skipping (pip install -e .[lint])"
+
+# Bounded-exhaustive verification of the TPI protocol rules (the exact
+# functions the simulator executes); see docs/ANALYSIS.md.  The self-test
+# seeds known protocol bugs and requires 100% counterexample detection.
+modelcheck:
+	$(PYTHON) -m repro modelcheck --self-test --strict
 
 clean:
 	rm -rf .pytest_cache .hypothesis build src/repro.egg-info

@@ -1,4 +1,5 @@
-"""Static-analysis subsystem: diagnostics, staleness oracle, lint.
+"""Static-analysis subsystem: diagnostics, staleness oracle, lint, and
+bounded-exhaustive protocol model checking.
 
 Submodules are loaded lazily (PEP 562): :mod:`repro.ir.validate` imports
 :mod:`repro.analysis.diagnostics` while the :mod:`repro.ir` package is
@@ -31,6 +32,14 @@ _EXPORTS = {
     "StaleRead": "repro.analysis.sanitizer",
     "mutation_self_test": "repro.analysis.mutate",
     "MutationResult": "repro.analysis.mutate",
+    "ModelConfig": "repro.analysis.modelcheck",
+    "CheckResult": "repro.analysis.modelcheck",
+    "Violation": "repro.analysis.modelcheck",
+    "DEFAULT_CONFIGS": "repro.analysis.modelcheck",
+    "check_config": "repro.analysis.modelcheck",
+    "modelcheck_report": "repro.analysis.modelcheck",
+    "protocol_self_test": "repro.analysis.modelcheck",
+    "replay_counterexample": "repro.analysis.modelcheck",
 }
 
 __all__ = sorted(_EXPORTS)
@@ -52,6 +61,16 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis aid only
         diff_marking,
         lint_program,
         lint_workload,
+    )
+    from repro.analysis.modelcheck import (  # noqa: F401
+        DEFAULT_CONFIGS,
+        CheckResult,
+        ModelConfig,
+        Violation,
+        check_config,
+        modelcheck_report,
+        protocol_self_test,
+        replay_counterexample,
     )
     from repro.analysis.mutate import MutationResult, mutation_self_test  # noqa: F401
     from repro.analysis.oracle import (  # noqa: F401

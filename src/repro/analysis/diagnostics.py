@@ -10,7 +10,8 @@ exit-code them uniformly.
 
 Rule id conventions: ``VALxxx`` structural IR problems, ``TPIxxx`` /
 ``SCxxx`` marking-map disagreements, ``ANAxxx`` analysis-limit notes,
-``SANxxx`` dynamic sanitizer findings.
+``SANxxx`` dynamic sanitizer findings, ``MCxxx`` bounded-exhaustive
+protocol model-checking findings (:mod:`repro.analysis.modelcheck`).
 
 Exit codes (:meth:`Report.exit_code`): 0 clean, 1 errors (or warnings
 under ``--strict``), 2 usage errors (bad workload/scheme names — raised
@@ -67,6 +68,11 @@ _RULE_DEFS = (
     Rule("ANA001", Severity.INFO, "imprecisely analyzed site"),
     # Dynamic cross-check (repro.analysis.sanitizer).
     Rule("SAN001", Severity.ERROR, "dynamic stale read at unmarked site"),
+    # Bounded-exhaustive protocol verification (repro.analysis.modelcheck).
+    Rule("MC001", Severity.ERROR, "staleness-safety violation (model)"),
+    Rule("MC002", Severity.ERROR, "model diverges from production TPI"),
+    Rule("MC003", Severity.WARNING, "bounds force fewer than two wraps"),
+    Rule("MC004", Severity.WARNING, "state enumeration truncated"),
 )
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in _RULE_DEFS}
@@ -142,11 +148,16 @@ _SEVERITY_ORDER = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
 
 @dataclass
 class Report:
-    """An ordered collection of diagnostics plus run metadata."""
+    """An ordered collection of diagnostics plus run metadata.
+
+    ``tool`` names the producing check in the summary line ("lint" for
+    the oracle diff, "modelcheck" for the protocol verifier, ...).
+    """
 
     subject: str = ""
     diagnostics: List[Diagnostic] = field(default_factory=list)
     meta: Dict[str, Any] = field(default_factory=dict)
+    tool: str = "lint"
 
     def add(self, diagnostic: Diagnostic) -> None:
         self.diagnostics.append(diagnostic)
@@ -187,10 +198,12 @@ class Report:
         parts = [f"{counts['error']} error(s)", f"{counts['warning']} warning(s)"]
         if counts["info"]:
             parts.append(f"{counts['info']} note(s)")
-        head = f"lint {self.subject}: " if self.subject else "lint: "
+        head = (f"{self.tool} {self.subject}: " if self.subject
+                else f"{self.tool}: ")
         text = head + ", ".join(parts)
         extras = [f"{k}={v}" for k, v in sorted(self.meta.items())
-                  if k in ("sites", "modes", "schemes", "cache")]
+                  if k in ("sites", "modes", "schemes", "cache",
+                           "states", "wraps")]
         if extras:
             text += "  (" + ", ".join(extras) + ")"
         return text
@@ -209,6 +222,7 @@ class Report:
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "tool": self.tool,
             "subject": self.subject,
             "counts": self.counts(),
             "meta": dict(self.meta),

@@ -16,6 +16,15 @@ Commands
     Verify the marking pass against the independent staleness oracle and
     the dynamic sanitizer; see docs/ANALYSIS.md.  Exit codes: 0 clean,
     1 findings (errors, or warnings with ``--strict``), 2 usage error.
+    ``--modelcheck`` appends the protocol verification below.
+``modelcheck [--procs N --lines N --words N --k N --epochs N]``
+    Bounded-exhaustive verification of the TPI protocol itself: enumerate
+    every reachable state of tiny configurations and assert staleness
+    safety, checking the exact rule functions the simulator executes
+    (see docs/ANALYSIS.md).  Without bounds flags, runs the default
+    config grid (>= 2 counter wrap-arounds each).  ``--self-test`` seeds
+    known protocol bugs and requires 100% counterexample detection.
+    Exit codes as for ``lint``.
 ``cache stats|clear``
     Inspect or empty the on-disk artifact cache.
 ``serve [--host H] [--port P] [--peers LIST]``
@@ -41,7 +50,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.coherence import SCHEME_NAMES
 from repro.common.config import default_machine
@@ -135,11 +144,44 @@ def _build_parser() -> argparse.ArgumentParser:
                            "defects; the lint must catch every one)")
     lint.add_argument("--json", metavar="PATH",
                       help="also write the report(s) as JSON")
+    lint.add_argument("--modelcheck", action="store_true",
+                      help="also run the bounded-exhaustive protocol "
+                           "verification (default config grid)")
     lint.add_argument("--cache-dir", metavar="PATH",
                       help="artifact cache location (default ~/.cache/repro "
                            "or $REPRO_CACHE_DIR)")
     lint.add_argument("--no-cache", action="store_true",
                       help="do not read or write the artifact cache")
+
+    mck = sub.add_parser("modelcheck",
+                         help="bounded-exhaustive TPI protocol verification")
+    mck.add_argument("--procs", type=int, metavar="N",
+                     help="processors (2..4); with any bounds flag set, a "
+                          "single config replaces the default grid")
+    mck.add_argument("--lines", type=int, metavar="N",
+                     help="cache lines / shared arrays (1..3)")
+    mck.add_argument("--words", type=int, metavar="N",
+                     help="words per line (1..4)")
+    mck.add_argument("--k", type=int, metavar="BITS",
+                     help="timetag width in bits (1..4)")
+    mck.add_argument("--epochs", type=int, metavar="N",
+                     help="epoch bound (1..64; 2^k epochs = one counter "
+                          "wrap; the default grid forces >= 2 wraps)")
+    mck.add_argument("--strict", action="store_true",
+                     help="exit 1 on warnings too, not just errors")
+    mck.add_argument("--self-test", action="store_true",
+                     help="also seed known protocol bugs; every one must "
+                          "produce a counterexample")
+    mck.add_argument("--no-replay", action="store_true",
+                     help="skip replaying counterexamples through the "
+                          "production TpiScheme")
+    mck.add_argument("--json", metavar="PATH",
+                     help="also write the report as JSON")
+    mck.add_argument("--cache-dir", metavar="PATH",
+                     help="artifact cache location (default ~/.cache/repro "
+                          "or $REPRO_CACHE_DIR)")
+    mck.add_argument("--no-cache", action="store_true",
+                     help="do not read or write the artifact cache")
 
     cch = sub.add_parser("cache", help="inspect or clear the artifact cache")
     cch.add_argument("action", choices=("stats", "clear"))
@@ -290,11 +332,29 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _write_json_output(payload, path: str) -> None:
+    """``--json PATH`` writer: an unwritable path is a usage error.
+
+    ``write_json`` opens the file lazily, so a bad directory, a
+    permission problem, or a full disk would otherwise surface as an
+    OSError traceback; users of ``--json`` deserve the same one-line
+    exit-2 treatment as any other bad argument.
+    """
+    from repro.runtime import write_json
+
+    try:
+        write_json(payload, path)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot write --json output to {path!r}: "
+            f"{exc.strerror or exc}") from None
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import lint_workload, mutation_self_test
     from repro.analysis.diagnostics import EXIT_USAGE
     from repro.analysis.lint import _normalize_modes, _normalize_schemes
-    from repro.runtime import ArtifactCache, write_json
+    from repro.runtime import ArtifactCache
 
     known = workload_names()
     names = list(known) if args.workload == "all" else [args.workload]
@@ -336,8 +396,67 @@ def _cmd_lint(args) -> int:
                 }
         payloads.append(payload)
         print()
+    if args.modelcheck:
+        from repro.analysis import modelcheck_report
+
+        report = modelcheck_report(cache=cache)
+        print(report.render())
+        print()
+        code = max(code, report.exit_code(strict=args.strict))
+        payloads.append(report.to_dict())
     if args.json:
-        write_json(payloads if len(payloads) > 1 else payloads[0], args.json)
+        _write_json_output(payloads if len(payloads) > 1 else payloads[0],
+                           args.json)
+    return code
+
+
+def _cmd_modelcheck(args) -> int:
+    from repro.analysis import ModelConfig, modelcheck_report, protocol_self_test
+    from repro.analysis.diagnostics import EXIT_USAGE
+    from repro.runtime import ArtifactCache
+
+    bounds = {"n_procs": args.procs, "n_lines": args.lines,
+              "line_words": args.words, "timetag_bits": args.k,
+              "max_epochs": args.epochs}
+    custom: Dict[str, int] = {key: value for key, value in bounds.items()
+                              if value is not None}
+    try:
+        configs = [ModelConfig(**custom)] if custom else None
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    report = modelcheck_report(configs, replay=not args.no_replay,
+                               cache=cache)
+    print(report.render())
+    for line in report.meta.get("results", ()):
+        print("  " + line)
+    code = report.exit_code(strict=args.strict)
+    payload = report.to_dict()
+    if args.self_test:
+        result = protocol_self_test(replay=not args.no_replay)
+        print(result.summary())
+        for mutation in result.mutations:
+            if mutation.caught:
+                note = ""
+                if mutation.refuted_by_production is True:
+                    note = ", production refuted the trace (as it must)"
+                elif mutation.refuted_by_production is False:
+                    note = ", but production CONFIRMED the trace"
+                    code = max(code, 1)
+                print(f"  caught {mutation.name} on {mutation.config_label}"
+                      f"{note}")
+            else:
+                print(f"  MISSED {mutation.name} "
+                      f"({mutation.states} states searched)")
+                code = max(code, 1)
+        payload["self_test"] = {
+            "seeded": result.seeded,
+            "caught": result.caught,
+            "missed": [m.name for m in result.missed],
+        }
+    if args.json:
+        _write_json_output(payload, args.json)
     return code
 
 
@@ -408,6 +527,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": lambda: _cmd_experiment(args),
         "sweep": lambda: _cmd_sweep(args),
         "lint": lambda: _cmd_lint(args),
+        "modelcheck": lambda: _cmd_modelcheck(args),
         "cache": lambda: _cmd_cache(args),
         "serve": lambda: _cmd_serve(args),
     }

@@ -56,6 +56,7 @@ import numpy as np
 
 from repro.coherence.api import AccessResult
 from repro.coherence.directory import _REASON_FALSE, _REASON_TRUE
+from repro.coherence.tpi_rules import time_read_window, word_age
 from repro.common.config import ConsistencyModel, WriteBufferKind
 from repro.common.errors import ProtocolError
 from repro.common.stats import MissKind
@@ -761,16 +762,16 @@ class TpiBatchKernel(_WriteBufferMixin, _FullBatchKernel):
         tr = rd & sh & tr_table[site]
         strict = tr & strict_table[site]
         region = scheme.region_of[addr]
-        gap = R - scheme.w_regs[np.maximum(region, 0)]
-        window = np.minimum(gap, mod - 1)
+        window = time_read_window(R, scheme.w_regs[np.maximum(region, 0)],
+                                  mod)
         no_region = region < 0
         zeros = np.zeros(n, dtype=bool)
 
         if per_word:
-            age0 = (R - self._gword(self.tt, cols)) % mod
+            age0 = word_age(R, self._gword(self.tt, cols), mod)
         else:
             # Per-line tags live on word 0; strict Time-Reads never hit.
-            age0 = (R - self._gword0(self.tt, cols)) % mod
+            age0 = word_age(R, self._gword0(self.tt, cols), mod)
 
         def tt_pass(age, strict_ok):
             return np.where(tr, np.where(strict, strict_ok,

@@ -56,6 +56,13 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.coherence.api import AccessResult, CoherenceScheme, SimContext
+from repro.coherence.tpi_rules import (
+    crossed_phase_bounds,
+    fill_tag,
+    strict_hit,
+    timestamp_hit,
+    w_register_update,
+)
 from repro.common.config import ConsistencyModel, TimetagResetPolicy
 from repro.common.errors import SimulationError
 from repro.common.stats import MissKind
@@ -105,11 +112,10 @@ class TpiScheme(CoherenceScheme):
         stalls: Dict[int, int] = {}
         policy = self.machine.tpi.reset_policy
         if policy is TimetagResetPolicy.TWO_PHASE:
-            old_phase = (old % self.modulus) // self.phase_size
-            new_phase = (self.epoch_index % self.modulus) // self.phase_size
-            if old_phase != new_phase:
-                lo = new_phase * self.phase_size
-                hi = lo + self.phase_size - 1
+            bounds = crossed_phase_bounds(old, self.epoch_index,
+                                          self.modulus, self.phase_size)
+            if bounds is not None:
+                lo, hi = bounds
                 self.resets += 1
                 for proc, cache in enumerate(self.caches):
                     self.reset_invalidations += cache.two_phase_reset(
@@ -135,7 +141,7 @@ class TpiScheme(CoherenceScheme):
         writes = self.ctx.marking.epoch_writes.get(write_key, {})
         for array, racy in writes.items():
             region = self.region_names.index(array)
-            self.w_regs[region] = self.epoch_index + (1 if racy else 0)
+            self.w_regs[region] = w_register_update(self.epoch_index, racy)
         return {proc: wb.drain() for proc, wb in enumerate(self.wbuffers)}
 
     def release_fence(self, proc: int) -> AccessResult:
@@ -173,15 +179,13 @@ class TpiScheme(CoherenceScheme):
             tag = int(cache.timetag[loc.set_index, loc.way, 0])
         else:
             tag = int(cache.timetag[loc.set_index, loc.way, word])
-        age = (self.epoch_index - tag) % self.modulus
         if strict:
-            return age == 0
+            return strict_hit(self.epoch_index, tag, self.modulus)
         region = int(self.region_of[addr])
         if region < 0:
             return True  # not a shared array (cannot happen for marked reads)
-        gap = self.epoch_index - int(self.w_regs[region])
-        window = min(gap, self.modulus - 1)
-        return age <= window
+        return timestamp_hit(self.epoch_index, tag,
+                             int(self.w_regs[region]), self.modulus)
 
     def read(self, proc: int, addr: int, site: int, shared: bool,
              in_critical: bool) -> AccessResult:
@@ -272,9 +276,10 @@ class TpiScheme(CoherenceScheme):
         s, w = loc.set_index, loc.way
         base = cache.line_base(line_addr)
         cache.version[s, w, :] = self.shadow.version[base:base + self.line_words]
-        cache.timetag[s, w, :] = self.epoch_index - 1
-        if stamp_current and self.per_word_tags:
-            cache.timetag[s, w, accessed_word] = self.epoch_index
+        cache.timetag[s, w, :] = fill_tag(self.epoch_index, False, stamp_current)
+        if self.per_word_tags:
+            cache.timetag[s, w, accessed_word] = fill_tag(
+                self.epoch_index, True, stamp_current)
         return loc
 
     def _refresh(self, cache: Cache, loc, line_addr: int, accessed_word: int,
@@ -286,7 +291,8 @@ class TpiScheme(CoherenceScheme):
             base = cache.line_base(line_addr)
             cache.version[s, w, :] = self.shadow.version[
                 base:base + self.line_words]
-            cache.timetag[s, w, :] = self.epoch_index - 1
+            cache.timetag[s, w, :] = fill_tag(self.epoch_index, False,
+                                              stamp_current)
             cache.word_valid[s, w, :] = True
             cache.touch(loc)
             return loc
@@ -305,11 +311,12 @@ class TpiScheme(CoherenceScheme):
         upgrade = (~cache.word_valid[s, w, :]
                    | (cache.timetag[s, w, :] < self.epoch_index - 1))
         cache.version[s, w, upgrade] = fresh[upgrade]
-        cache.timetag[s, w, upgrade] = self.epoch_index - 1
+        cache.timetag[s, w, upgrade] = fill_tag(self.epoch_index, False,
+                                                stamp_current)
         cache.word_valid[s, w, :] = True
         cache.version[s, w, accessed_word] = fresh[accessed_word]
-        cache.timetag[s, w, accessed_word] = (
-            self.epoch_index if stamp_current else self.epoch_index - 1)
+        cache.timetag[s, w, accessed_word] = fill_tag(
+            self.epoch_index, True, stamp_current)
         cache.touch(loc)
         return loc
 

@@ -161,15 +161,20 @@ class Cache:
         the phase whose timetag values are about to be recycled.  It bounds
         every surviving word's true age below 2^k, which is what makes the
         hardware's modular age comparisons exact.
+
+        Which tags the sweep selects is the shared pure rule
+        :func:`repro.coherence.tpi_rules.reset_selects` (imported lazily:
+        the coherence package imports this module at init time).
         """
+        from repro.coherence.tpi_rules import reset_selects
+
         sets, ways = np.nonzero(self.tags != -1)
         if sets.size == 0:
             return 0
         if sets.size * 2 >= self.tags.size:
             # Dense cache: full-array ops beat gather/scatter indexing.
-            ktags = self.timetag % modulus
             mask = (self.word_valid
-                    & (ktags >= phase_lo) & (ktags <= phase_hi)
+                    & reset_selects(self.timetag, phase_lo, phase_hi, modulus)
                     & (self.tags != -1)[:, :, None])
             count = int(mask.sum())
             self.word_valid[mask] = False
@@ -177,8 +182,8 @@ class Cache:
         # Sparse cache (the common case for the paper's working sets):
         # restrict the modular comparison to the occupied lines.
         valid = self.word_valid[sets, ways]
-        ktags = self.timetag[sets, ways] % modulus
-        mask = valid & (ktags >= phase_lo) & (ktags <= phase_hi)
+        mask = valid & reset_selects(self.timetag[sets, ways],
+                                     phase_lo, phase_hi, modulus)
         count = int(mask.sum())
         if count:
             rows, cols = np.nonzero(mask)

@@ -1,13 +1,17 @@
 """Content-addressed on-disk artifact cache.
 
-Three artifact kinds are stored, all pickled under their fingerprint:
+Four artifact kinds are stored, all pickled under their fingerprint:
 
 * ``prepared`` — :class:`~repro.sim.runner.PreparedRun` front-end output
   (marking + trace), keyed by :meth:`Job.prepare_fingerprint`;
 * ``result`` — finished :class:`~repro.sim.metrics.SimResult`, keyed by
   :meth:`Job.fingerprint`;
 * ``lint`` — :class:`~repro.analysis.diagnostics.Report` from
-  ``repro lint``, keyed by :func:`repro.analysis.lint.lint_fingerprint`.
+  ``repro lint``, keyed by :func:`repro.analysis.lint.lint_fingerprint`;
+* ``modelcheck`` — :class:`~repro.analysis.diagnostics.Report` from
+  ``repro modelcheck``, keyed by
+  :func:`repro.analysis.modelcheck.modelcheck_fingerprint` (which digests
+  the rule/checker *source files*, so editing the protocol re-verifies).
 
 Layout: ``<root>/v<CACHE_VERSION>/<kind>/<key[:2]>/<key>.pkl``.  The root
 defaults to ``~/.cache/repro`` and can be overridden with the
@@ -34,8 +38,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-CACHE_VERSION = 1
-"""On-disk layout version; bump when the directory structure changes."""
+CACHE_VERSION = 2
+"""On-disk layout version; bump when the directory structure or the
+pickled shape of a cached artifact class changes (v2: ``Report.tool``)."""
 
 ENGINE_SALT = "gang-v4"
 """Simulation-semantics version; bump on any engine/compiler/trace change
@@ -44,7 +49,8 @@ that can alter results, to invalidate previously cached artifacts."""
 KIND_PREPARED = "prepared"
 KIND_RESULT = "result"
 KIND_LINT = "lint"
-_KINDS = (KIND_PREPARED, KIND_RESULT, KIND_LINT)
+KIND_MODELCHECK = "modelcheck"
+_KINDS = (KIND_PREPARED, KIND_RESULT, KIND_LINT, KIND_MODELCHECK)
 
 
 def cache_salt() -> str:

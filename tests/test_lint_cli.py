@@ -94,6 +94,37 @@ class TestJsonAndCache:
         assert "cache=hit" in capsys.readouterr().out
 
 
+class TestJsonUsageErrors:
+    def test_unwritable_json_one_line_exit_2(self, capsys):
+        assert main(["lint", "ocean", "--no-cache", "--no-sanitize",
+                     "--mode", "none",
+                     "--json", "/nonexistent-dir/report.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot write --json output")
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestModelcheckFlag:
+    def test_lint_modelcheck_appends_protocol_report(self, tmp_path, capsys,
+                                                     monkeypatch):
+        import repro.analysis.modelcheck as mc
+
+        # One small config stands in for the default grid; the full grid
+        # runs in tests/test_modelcheck.py and the CI modelcheck step.
+        monkeypatch.setattr(mc, "DEFAULT_CONFIGS", (
+            mc.ModelConfig(n_procs=2, n_lines=1, line_words=1,
+                           timetag_bits=2, max_epochs=10),))
+        path = tmp_path / "combined.json"
+        assert main(["lint", "ocean", "--no-cache", "--no-sanitize",
+                     "--mode", "none", "--modelcheck",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "modelcheck tpi-protocol: 0 error(s)" in out
+        payload = json.loads(path.read_text())
+        assert [p.get("tool", "lint") for p in payload] == \
+            ["lint", "modelcheck"]
+
+
 class TestSelfTestFlag:
     def test_self_test_output(self, capsys):
         assert main(["lint", "trfd", "--no-cache", "--no-sanitize",

@@ -1,0 +1,275 @@
+"""Bounded-exhaustive TPI protocol verification (repro.analysis.modelcheck).
+
+Covers the verification claims end to end: the default config grid is
+clean and forces the counter wrap-arounds, the checker consults the
+*same* rule functions the production scheme executes, every seeded
+protocol bug yields a counterexample that the production implementation
+refutes (and, when production shares the bug, confirms), and the CLI /
+cache plumbing behaves like ``repro lint``'s.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.diagnostics import RULES, Severity
+from repro.analysis.modelcheck import (
+    DEFAULT_CONFIGS,
+    PRODUCTION_RULES,
+    ModelConfig,
+    check_config,
+    modelcheck_report,
+    protocol_mutants,
+    protocol_self_test,
+    replay_counterexample,
+)
+from repro.cli import main
+from repro.coherence import tpi_rules
+from repro.common.errors import ConfigError
+from repro.runtime import ArtifactCache
+
+SMALL = ModelConfig(n_procs=2, n_lines=1, line_words=1, timetag_bits=2,
+                    max_epochs=10)
+
+
+class TestSharedRules:
+    """The verified logic must BE the production logic, not a copy."""
+
+    def test_production_rules_bind_the_shared_module(self):
+        assert PRODUCTION_RULES.timestamp_hit is tpi_rules.timestamp_hit
+        assert PRODUCTION_RULES.strict_hit is tpi_rules.strict_hit
+        assert PRODUCTION_RULES.fill_tag is tpi_rules.fill_tag
+        assert PRODUCTION_RULES.w_register_update is tpi_rules.w_register_update
+        assert PRODUCTION_RULES.crossed_phase_bounds is \
+            tpi_rules.crossed_phase_bounds
+        assert PRODUCTION_RULES.reset_selects is tpi_rules.reset_selects
+
+    def test_simulator_imports_the_same_functions(self):
+        import repro.coherence.tpi as tpi
+
+        assert tpi.timestamp_hit is tpi_rules.timestamp_hit
+        assert tpi.strict_hit is tpi_rules.strict_hit
+        assert tpi.fill_tag is tpi_rules.fill_tag
+        assert tpi.w_register_update is tpi_rules.w_register_update
+        assert tpi.crossed_phase_bounds is tpi_rules.crossed_phase_bounds
+
+    def test_batch_kernel_imports_the_same_functions(self):
+        import repro.coherence.batch as batch
+
+        assert batch.time_read_window is tpi_rules.time_read_window
+        assert batch.word_age is tpi_rules.word_age
+
+
+class TestDefaultGrid:
+    def test_grid_covers_the_issue_bounds(self):
+        assert any(c.n_procs >= 3 for c in DEFAULT_CONFIGS)
+        assert any(c.n_lines >= 2 for c in DEFAULT_CONFIGS)
+        assert any(c.line_words >= 2 for c in DEFAULT_CONFIGS)
+        assert {c.timetag_bits for c in DEFAULT_CONFIGS} >= {2, 3}
+        assert all(c.n_procs >= 2 for c in DEFAULT_CONFIGS)
+        assert all(c.wraps >= 2 for c in DEFAULT_CONFIGS)
+
+    def test_smallest_config_is_exhaustive_and_clean(self):
+        result = check_config(SMALL)
+        assert result.ok
+        assert not result.truncated
+        assert result.violations == []
+        assert result.states > 1000
+        assert result.reads_checked > 0
+        assert "OK" in result.summary()
+
+    def test_three_procs_and_k3_configs_are_clean(self):
+        for config in DEFAULT_CONFIGS:
+            if config.n_procs == 3 or config.timetag_bits == 3:
+                result = check_config(config)
+                assert result.ok, result.summary()
+
+    def test_bounds_are_validated(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(n_procs=1)
+        with pytest.raises(ConfigError):
+            ModelConfig(timetag_bits=9)
+        with pytest.raises(ConfigError):
+            ModelConfig(max_epochs=0)
+
+    def test_state_cap_marks_truncation(self):
+        result = check_config(SMALL, max_states=50)
+        assert result.truncated
+        assert not result.ok
+
+
+class TestMutationSelfTest:
+    """Acceptance gate: 100% of seeded protocol bugs must be caught."""
+
+    def test_every_seeded_bug_is_caught(self):
+        result = protocol_self_test(replay=False)
+        assert result.seeded == 4
+        assert result.detection_rate == 1.0, result.summary()
+        assert result.missed == []
+
+    def test_production_refutes_every_mutant_counterexample(self):
+        """The replay direction tests cannot fake: production does not
+        have the seeded bugs, so it must reject each mutant's trace."""
+        result = protocol_self_test(replay=True)
+        assert all(m.refuted_by_production for m in result.mutations), \
+            [(m.name, m.refuted_by_production) for m in result.mutations]
+
+    @pytest.mark.parametrize("mutant", protocol_mutants(),
+                             ids=lambda m: m.name)
+    def test_each_mutant_falls_on_the_small_config(self, mutant):
+        for config in (SMALL,
+                       ModelConfig(n_procs=2, n_lines=1, line_words=2,
+                                   timetag_bits=2, max_epochs=8)):
+            result = check_config(config, mutant)
+            if result.violations:
+                violation = result.violations[0]
+                rendered = "\n".join(violation.render())
+                assert "staleness-safety violation" in rendered
+                assert violation.stale_since < violation.epoch
+                return
+        pytest.fail(f"mutant {mutant.name} produced no counterexample")
+
+
+def _window_off_by_one(epoch, tag, w_reg, modulus):
+    return tpi_rules.word_age(epoch, tag, modulus) <= \
+        tpi_rules.time_read_window(epoch, w_reg, modulus) + 1
+
+
+class TestProductionReplay:
+    def test_replay_confirms_when_production_shares_the_bug(self, monkeypatch):
+        """Completeness cross-check: seed the same bug into the model AND
+        the production scheme; the replay must now confirm the trace."""
+        import repro.coherence.tpi as tpi
+
+        monkeypatch.setattr(tpi, "timestamp_hit", _window_off_by_one)
+        mutant = replace(PRODUCTION_RULES, name="window-off-by-one",
+                         timestamp_hit=_window_off_by_one)
+        result = check_config(SMALL, mutant)
+        assert result.violations
+        outcome = replay_counterexample(result.violations[0])
+        assert outcome.confirmed, outcome
+        assert "stale read" in outcome.detail
+
+    def test_divergence_raises_mc002(self, monkeypatch):
+        """A counterexample against the production *rules* that production
+        itself refutes means the abstract model drifted: MC002."""
+        import repro.analysis.modelcheck as mc
+
+        mutant = replace(PRODUCTION_RULES, name="production",
+                         timestamp_hit=_window_off_by_one)
+        monkeypatch.setattr(mc, "PRODUCTION_RULES", mutant)
+        report = mc.modelcheck_report([SMALL], rules=mutant,
+                                      max_violations=1)
+        rule_ids = {d.rule_id for d in report.diagnostics}
+        assert "MC001" in rule_ids
+        assert "MC002" in rule_ids
+        assert report.exit_code() == 1
+
+
+class TestReportAndCache:
+    def test_clean_report_exits_zero(self):
+        report = modelcheck_report([SMALL], cache=None)
+        assert report.tool == "modelcheck"
+        assert report.exit_code() == 0
+        assert report.meta["wraps"] >= 2
+        assert report.meta["states"] > 0
+        payload = report.to_dict()
+        assert payload["tool"] == "modelcheck"
+        assert payload["counts"]["error"] == 0
+
+    def test_under_two_wraps_warns_mc003(self):
+        shallow = ModelConfig(n_procs=2, n_lines=1, line_words=1,
+                              timetag_bits=2, max_epochs=6)
+        report = modelcheck_report([shallow], cache=None)
+        assert [d.rule_id for d in report.diagnostics] == ["MC003"]
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_truncation_warns_mc004(self):
+        report = modelcheck_report([SMALL], max_states=50, cache=None)
+        assert "MC004" in {d.rule_id for d in report.diagnostics}
+
+    def test_mc_rules_are_catalogued(self):
+        assert RULES["MC001"].severity is Severity.ERROR
+        assert RULES["MC002"].severity is Severity.ERROR
+        assert RULES["MC003"].severity is Severity.WARNING
+        assert RULES["MC004"].severity is Severity.WARNING
+
+    def test_warm_repeat_hits_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cold = modelcheck_report([SMALL], cache=cache)
+        assert cold.meta["cache"] == "miss"
+        warm = modelcheck_report([SMALL], cache=cache)
+        assert warm.meta["cache"] == "hit"
+        assert warm.to_dict()["counts"] == cold.to_dict()["counts"]
+        assert cache.stats().entries.get("modelcheck") == 1
+
+    def test_cache_key_depends_on_bounds(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        modelcheck_report([SMALL], cache=cache)
+        other = modelcheck_report(
+            [replace(SMALL, max_epochs=9)], cache=cache)
+        assert other.meta["cache"] == "miss"
+        assert cache.stats().entries.get("modelcheck") == 2
+
+    def test_mutant_reports_are_never_cached(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        mutant = protocol_mutants()[0]
+        modelcheck_report([SMALL], rules=mutant, cache=cache)
+        assert cache.stats().entries.get("modelcheck", 0) == 0
+
+
+class TestCli:
+    ARGS = ["modelcheck", "--procs", "2", "--lines", "1", "--words", "1",
+            "--k", "2", "--epochs", "10", "--no-cache"]
+
+    def test_explicit_bounds_exit_zero(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "modelcheck tpi-protocol: 0 error(s)" in out
+        assert "p2.l1.w1.k2.e10" in out
+
+    def test_bad_bounds_one_line_exit_2(self, capsys):
+        assert main(["modelcheck", "--epochs", "99", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_self_test_flag(self, capsys):
+        assert main([*self.ARGS, "--self-test", "--no-replay"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 seeded protocol bugs" in out
+        assert "MISSED" not in out
+
+    def test_shallow_bounds_warn_but_exit_zero(self, capsys):
+        args = ["modelcheck", "--procs", "2", "--lines", "1", "--words", "1",
+                "--k", "2", "--epochs", "6", "--no-cache"]
+        assert main(args) == 0
+        assert "MC003" in capsys.readouterr().out
+        assert main([*args, "--strict"]) == 1
+
+    def test_json_report_written(self, tmp_path, capsys):
+        path = tmp_path / "mc.json"
+        assert main([*self.ARGS, "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["tool"] == "modelcheck"
+        assert payload["counts"]["error"] == 0
+        assert payload["meta"]["wraps"] >= 2
+
+    def test_unwritable_json_one_line_exit_2(self, capsys):
+        args = ["modelcheck", "--procs", "2", "--lines", "1", "--words", "1",
+                "--k", "2", "--epochs", "6", "--no-cache",
+                "--json", "/nonexistent-dir/out.json"]
+        assert main(args) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot write --json output")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_cache_dir_round_trip(self, tmp_path, capsys):
+        args = ["modelcheck", "--procs", "2", "--lines", "1", "--words", "1",
+                "--k", "2", "--epochs", "10", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "cache=hit" in capsys.readouterr().out
