@@ -36,6 +36,7 @@ props:
 # installed (pip install -e .[lint]) and are skipped otherwise.
 lint:
 	$(PYTHON) -m repro lint all --size small --self-test
+	$(PYTHON) -m repro lint all --scheme tardis --scheme snoop --size small
 	@$(PYTHON) -c "import ruff" 2>/dev/null \
 		&& $(PYTHON) -m ruff check src/repro \
 		&& $(PYTHON) -m ruff check --select B,SIM src/repro/analysis \
@@ -44,11 +45,13 @@ lint:
 		&& $(PYTHON) -m mypy \
 		|| echo "mypy not installed; skipping (pip install -e .[lint])"
 
-# Bounded-exhaustive verification of the TPI protocol rules (the exact
-# functions the simulator executes); see docs/ANALYSIS.md.  The self-test
-# seeds known protocol bugs and requires 100% counterexample detection.
+# Bounded-exhaustive verification of the TPI and Tardis protocol rules
+# (the exact functions the simulator executes); see docs/ANALYSIS.md.
+# The self-tests seed known protocol bugs and require 100%
+# counterexample detection.
 modelcheck:
 	$(PYTHON) -m repro modelcheck --self-test --strict
+	$(PYTHON) -m repro modelcheck --scheme tardis --self-test --strict
 
 clean:
 	rm -rf .pytest_cache .hypothesis build src/repro.egg-info

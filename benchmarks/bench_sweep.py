@@ -10,18 +10,26 @@ paper's Figures 15 and 16 run — two ways:
   fingerprint split puts every cell on one shared columnar trace and the
   executor gang-primes the per-geometry analyses once.
 
-The committed ``BENCH_sweep.json`` at the repo root records the
-measurement; CI re-runs the small grid with ``--min-speedup 2.0`` as a
-regression gate.
+A second grid does the same along the **scheme axis**: all seven
+coherence schemes over one workload, per-scheme solo (each scheme
+builds, prepares, and simulates on its own, exactly what seven
+``repro sweep --scheme X`` invocations cost) versus one
+:func:`repro.sim.gang.run_gang` pass over a single prepared trace.
+
+The committed ``BENCH_sweep.json`` at the repo root records both
+measurements; CI re-runs the small grids with ``--min-speedup 2.0``
+(config axis) and ``--min-scheme-speedup 1.5`` (scheme axis) as
+regression gates.
 
 Standalone::
 
     python benchmarks/bench_sweep.py --size small --rounds 3 \
         --out BENCH_sweep.json
-    python benchmarks/bench_sweep.py --size small --min-speedup 2.0
+    python benchmarks/bench_sweep.py --size small --min-speedup 2.0 \
+        --min-scheme-speedup 1.5
 
-Under pytest the grid runs once as a recorded benchmark with a sanity
-assertion only (the hard gate lives in the CI job, where rounds and host
+Under pytest each grid runs once as a recorded benchmark with a sanity
+assertion only (the hard gates live in the CI job, where rounds and host
 are controlled).
 """
 
@@ -33,6 +41,7 @@ import time
 
 from repro.common.config import default_machine
 from repro.sim import prepare, simulate
+from repro.sim.gang import GangMember, run_gang
 from repro.sim.sweep import Sweep, axis_cache_lines, axis_timetag_bits
 from repro.workloads import build_workload
 
@@ -40,6 +49,10 @@ WORKLOADS = ("ocean", "trfd")
 SCHEMES = ("tpi", "hw")
 TIMETAG_BITS = (2, 3, 4, 6, 8)  # fig15's axis
 LINE_WORDS = (1, 2, 4, 8)       # fig16's axis (4B..32B lines)
+
+#: The scheme-axis gang broadcasts every coherence scheme over one trace.
+GANG_WORKLOADS = ("ocean", "flo52", "qcd2")
+GANG_SCHEMES = ("tpi", "hw", "sc", "base", "update", "tardis", "snoop")
 
 
 def _sweep(program):
@@ -97,6 +110,49 @@ def time_grid(size: str, rounds: int = 3) -> dict:
     }
 
 
+def time_scheme_gang(size: str, rounds: int = 3) -> dict:
+    """Best-of-``rounds`` wall-clock for the scheme axis, per strategy.
+
+    The solo side is deliberately end-to-end per scheme — build, prepare,
+    simulate — because that is what running the schemes one at a time
+    actually costs: the front-end passes are scheme-independent, which is
+    precisely the redundancy the gang removes.
+    """
+    per_workload = {}
+    for name in GANG_WORKLOADS:
+        best_solo = float("inf")
+        best_gang = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            for scheme in GANG_SCHEMES:
+                run = prepare(build_workload(name, size=size),
+                              default_machine())
+                simulate(run, scheme)
+            best_solo = min(best_solo, time.perf_counter() - started)
+
+            started = time.perf_counter()
+            prep = prepare(build_workload(name, size=size), default_machine())
+            run_gang(prep, [GangMember(machine=default_machine(), scheme=s)
+                            for s in GANG_SCHEMES])
+            best_gang = min(best_gang, time.perf_counter() - started)
+        per_workload[name] = {"solo_s": round(best_solo, 4),
+                              "ganged_s": round(best_gang, 4),
+                              "speedup": round(best_solo / best_gang, 2)}
+    total_solo = sum(w["solo_s"] for w in per_workload.values())
+    total_gang = sum(w["ganged_s"] for w in per_workload.values())
+    return {
+        "grid": "scheme-gang",
+        "size": size,
+        "rounds": rounds,
+        "workloads": list(GANG_WORKLOADS),
+        "schemes": list(GANG_SCHEMES),
+        "per_workload": per_workload,
+        "solo_s": round(total_solo, 3),
+        "ganged_s": round(total_gang, 3),
+        "speedup": round(total_solo / total_gang, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--size", nargs="+", default=["small"],
@@ -108,23 +164,42 @@ def main(argv=None) -> int:
                         help="write the report as JSON to this path")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit non-zero if any measured grid is slower")
+    parser.add_argument("--min-scheme-speedup", type=float, default=None,
+                        help="exit non-zero if a scheme-gang grid is slower")
+    parser.add_argument("--grid", nargs="+", default=["config", "scheme"],
+                        choices=("config", "scheme"),
+                        help="which axes to measure")
     args = parser.parse_args(argv)
 
     report = {
         "python": platform.python_version(),
         "machine": platform.machine(),
         "grids": {},
+        "scheme_grids": {},
     }
     failed = False
     for size in args.size:
-        grid = time_grid(size, args.rounds)
-        report["grids"][size] = grid
-        print(f"sweep[{size}] per-cell={grid['per_cell_s']}s "
-              f"ganged={grid['ganged_s']}s speedup={grid['speedup']}x")
-        if args.min_speedup is not None and grid["speedup"] < args.min_speedup:
-            print(f"FAIL: speedup {grid['speedup']}x is below the "
-                  f"{args.min_speedup}x floor", file=sys.stderr)
-            failed = True
+        if "config" in args.grid:
+            grid = time_grid(size, args.rounds)
+            report["grids"][size] = grid
+            print(f"sweep[{size}] per-cell={grid['per_cell_s']}s "
+                  f"ganged={grid['ganged_s']}s speedup={grid['speedup']}x")
+            if args.min_speedup is not None and \
+                    grid["speedup"] < args.min_speedup:
+                print(f"FAIL: speedup {grid['speedup']}x is below the "
+                      f"{args.min_speedup}x floor", file=sys.stderr)
+                failed = True
+        if "scheme" in args.grid:
+            grid = time_scheme_gang(size, args.rounds)
+            report["scheme_grids"][size] = grid
+            print(f"scheme-gang[{size}] solo={grid['solo_s']}s "
+                  f"ganged={grid['ganged_s']}s speedup={grid['speedup']}x")
+            if args.min_scheme_speedup is not None and \
+                    grid["speedup"] < args.min_scheme_speedup:
+                print(f"FAIL: scheme-gang speedup {grid['speedup']}x is "
+                      f"below the {args.min_scheme_speedup}x floor",
+                      file=sys.stderr)
+                failed = True
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -139,6 +214,14 @@ class TestSweepBench:
                                   iterations=1, rounds=1)
         # Sanity only: the calibrated >= 2x gate runs in the dedicated CI
         # benchmark job and BENCH_sweep.json.
+        assert grid["speedup"] > 1.0
+
+    def test_scheme_gang_speedup(self, benchmark, bench_size):
+        size = "default" if bench_size == "paper" else "small"
+        grid = benchmark.pedantic(time_scheme_gang, args=(size, 2),
+                                  iterations=1, rounds=1)
+        # Sanity only: the calibrated >= 1.5x gate runs in the dedicated
+        # CI benchmark job and BENCH_sweep.json.
         assert grid["speedup"] > 1.0
 
 

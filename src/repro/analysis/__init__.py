@@ -40,6 +40,14 @@ _EXPORTS = {
     "modelcheck_report": "repro.analysis.modelcheck",
     "protocol_self_test": "repro.analysis.modelcheck",
     "replay_counterexample": "repro.analysis.modelcheck",
+    "TardisModelConfig": "repro.analysis.modelcheck_tardis",
+    "TardisCheckResult": "repro.analysis.modelcheck_tardis",
+    "TardisViolation": "repro.analysis.modelcheck_tardis",
+    "TARDIS_DEFAULT_CONFIGS": "repro.analysis.modelcheck_tardis",
+    "tardis_check_config": "repro.analysis.modelcheck_tardis",
+    "tardis_modelcheck_report": "repro.analysis.modelcheck_tardis",
+    "tardis_self_test": "repro.analysis.modelcheck_tardis",
+    "replay_tardis_counterexample": "repro.analysis.modelcheck_tardis",
 }
 
 __all__ = sorted(_EXPORTS)
@@ -71,6 +79,16 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis aid only
         modelcheck_report,
         protocol_self_test,
         replay_counterexample,
+    )
+    from repro.analysis.modelcheck_tardis import (  # noqa: F401
+        TARDIS_DEFAULT_CONFIGS,
+        TardisCheckResult,
+        TardisModelConfig,
+        TardisViolation,
+        replay_tardis_counterexample,
+        tardis_check_config,
+        tardis_modelcheck_report,
+        tardis_self_test,
     )
     from repro.analysis.mutate import MutationResult, mutation_self_test  # noqa: F401
     from repro.analysis.oracle import (  # noqa: F401

@@ -73,6 +73,10 @@ _RULE_DEFS = (
     Rule("MC002", Severity.ERROR, "model diverges from production TPI"),
     Rule("MC003", Severity.WARNING, "bounds force fewer than two wraps"),
     Rule("MC004", Severity.WARNING, "state enumeration truncated"),
+    Rule("MC101", Severity.ERROR, "staleness-safety violation (tardis model)"),
+    Rule("MC102", Severity.ERROR, "model diverges from production Tardis"),
+    Rule("MC103", Severity.WARNING, "bounds force fewer than two rebases"),
+    Rule("MC104", Severity.WARNING, "tardis state enumeration truncated"),
 )
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in _RULE_DEFS}

@@ -20,6 +20,12 @@
    ``SAN001`` error, and static findings whose site was dynamically
    observed stale are annotated ``dynamic: confirmed``.
 
+Hardware schemes (``tardis`` / ``snoop``) have no marking map to diff;
+requesting them runs the sanitizer alone under the scheme's hardware
+freshness model (lease expiry / commit-time invalidation).  Any stale
+read the hardware model leaves uncovered is the same ``SAN001`` error,
+and the observed stale-read count lands in ``meta["stale.<scheme>"]``.
+
 ``lint_workload`` adds the content-addressed artifact cache (kind
 ``lint``), so repeat lints of an unchanged workload are warm.
 """
@@ -135,13 +141,15 @@ def _normalize_modes(modes: Optional[Iterable[object]]) -> Tuple[InterprocMode, 
 
 
 def _normalize_schemes(schemes: Optional[Iterable[str]]) -> Tuple[str, ...]:
+    from repro.analysis.sanitizer import SANITIZER_SCHEMES
+
     if schemes is None:
         return ALL_SCHEMES
     resolved = tuple(schemes)
     for scheme in resolved:
-        if scheme not in _RULESETS:
+        if scheme not in SANITIZER_SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; lint checks "
-                             f"{'/'.join(sorted(_RULESETS))}")
+                             f"{'/'.join(SANITIZER_SCHEMES)}")
     return resolved
 
 
@@ -180,11 +188,14 @@ def lint_program(program: Program, params: Optional[Dict[str, int]] = None,
 
         trace = generate_trace(program, machine or default_machine(), params)
 
+    soft = tuple(s for s in schemes if s in _RULESETS)
+    hardware = tuple(s for s in schemes if s not in _RULESETS)
+
     sites_checked = 0
     for mode in modes:
         oracle = oracles[mode]
         sites_checked = max(sites_checked, len(oracle.verdicts))
-        for scheme in schemes:
+        for scheme in soft:
             dynamic_sites: Optional[Set[int]] = None
             if trace is not None:
                 from repro.analysis.sanitizer import (
@@ -213,6 +224,35 @@ def lint_program(program: Program, params: Optional[Dict[str, int]] = None,
             report.meta[f"approx.{mode.value}"] = sum(
                 oracle.stats.get(k, 0) for k in
                 ("capped_loops", "capped_combos", "capped_sets"))
+
+    # Hardware schemes have no marking to diff: the sanitizer replays
+    # the trace under the scheme's own freshness model (mode-agnostic).
+    if hardware and trace is not None:
+        from repro.analysis.oracle import site_table
+        from repro.analysis.sanitizer import (
+            replay_stale_reads,
+            unmarked_stale_sites,
+        )
+
+        any_marking = (markings[modes[0]] if modes
+                       else Marking(tpi={}, sc={}, graph=graph))
+        sites = site_table(program)
+        for scheme in hardware:
+            findings = replay_stale_reads(trace, any_marking, scheme)
+            report.meta[f"stale.{scheme}"] = len(findings)
+            for site, finding in sorted(
+                    unmarked_stale_sites(findings).items()):
+                info = sites.get(site)
+                report.add(Diagnostic(
+                    "SAN001",
+                    f"{info.text if info else f'site {site}'} read a "
+                    f"dynamically stale word (proc {finding.proc}, "
+                    f"addr {finding.addr}) the {scheme} hardware model "
+                    f"left uncovered",
+                    procedure=info.procedure if info else None,
+                    site=site, epoch=finding.epoch_label or None,
+                    detail={"scheme": scheme,
+                            "epoch_index": finding.epoch}))
     report.meta["sites"] = sites_checked
     return report
 

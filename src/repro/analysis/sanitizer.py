@@ -14,11 +14,19 @@ Copy-freshness follows the scheme being checked:
   epoch); an ordinary read of a fresh word also leaves a fresh copy.
 * ``sc`` — a bypassing read does not allocate or validate, so the cached
   copy's age is unchanged by marked reads.
+* ``tardis`` — hardware leases: the barrier joins every processor's
+  timestamp past every committed write, so a read on a copy that missed
+  a remote write always finds its lease expired and re-validates.  No
+  site needs a mark; every stale read counts as covered.
+* ``snoop`` — bus snooping: a committing write's invalidation destroys
+  every remote copy, so no stale copy survives for a read to terminate;
+  the replay must observe *zero* stale reads.
 
 Writes in an epoch are committed at the epoch barrier, so same-epoch
 communication (e.g. through critical sections) is never counted — only
-definite cross-epoch staleness is, which a sound marking must cover.
-Every flagged read whose site the marking left ordinary is a confirmed
+definite cross-epoch staleness is, which a sound marking (or the
+hardware, for the invalidation-free schemes) must cover.  Every flagged
+read whose site the checked scheme left uncovered is a confirmed
 soundness violation (rule ``SAN001``).
 """
 
@@ -29,6 +37,12 @@ from typing import Dict, List, Tuple
 
 from repro.compiler.marking import Marking, RefMark
 from repro.trace.events import EventKind, Trace
+
+#: Schemes whose hardware maintains coherence: the sanitizer checks the
+#: hardware's freshness model instead of a marking map.
+HARDWARE_SCHEMES: Tuple[str, ...] = ("tardis", "snoop")
+
+SANITIZER_SCHEMES: Tuple[str, ...] = ("tpi", "sc") + HARDWARE_SCHEMES
 
 
 @dataclass(frozen=True)
@@ -46,17 +60,31 @@ class StaleRead:
 def replay_stale_reads(trace: Trace, marking: Marking,
                        scheme: str = "tpi") -> List[StaleRead]:
     """All observably stale reads in a trace, flagged with whether the
-    checked scheme's map marked their site."""
+    checked scheme's validation mechanism covered their site.
+
+    For the software schemes that is the marking map; for the hardware
+    schemes (:data:`HARDWARE_SCHEMES`) the marking is ignored — Tardis's
+    barrier lease-join covers every read (``marked`` is always True),
+    and snoop's commit-time invalidations remove remote copies so no
+    stale read can be observed at all.
+    """
     if scheme == "tpi":
         marks = marking.tpi
-        marked_read_validates = True
+        marked_read_validates, invalidating = True, False
     elif scheme == "sc":
         marks = marking.sc
-        marked_read_validates = False
+        marked_read_validates, invalidating = False, False
+    elif scheme == "tardis":
+        marks = None  # leases re-validate every read; no marks exist
+        marked_read_validates, invalidating = True, False
+    elif scheme == "snoop":
+        marks = None  # invalidations destroy copies before any read
+        marked_read_validates, invalidating = True, True
     else:
-        raise ValueError(f"sanitizer checks 'tpi' or 'sc', not {scheme!r}")
+        raise ValueError(f"sanitizer checks one of "
+                         f"{'/'.join(SANITIZER_SCHEMES)}, not {scheme!r}")
 
-    copy_epoch: Dict[Tuple[int, int], int] = {}
+    copies: Dict[int, Dict[int, int]] = {}  # addr -> proc -> copy's epoch
     last_write: Dict[int, Dict[int, int]] = {}  # addr -> proc -> epoch
     findings: List[StaleRead] = []
 
@@ -68,17 +96,18 @@ def replay_stale_reads(trace: Trace, marking: Marking,
                 if not event.shared:
                     continue
                 if event.kind is EventKind.WRITE:
-                    copy_epoch[(proc, event.addr)] = epoch.index
+                    copies.setdefault(event.addr, {})[proc] = epoch.index
                     pending.append((event.addr, proc))
                     continue
                 if event.kind is not EventKind.READ:
                     continue
-                held = copy_epoch.get((proc, event.addr))
+                held = copies.get(event.addr, {}).get(proc)
                 stale = held is not None and any(
                     writer != proc and written > held
                     for writer, written in
                     last_write.get(event.addr, {}).items())
-                marked = marks.get(event.site) is RefMark.TIME_READ
+                marked = (True if marks is None
+                          else marks.get(event.site) is RefMark.TIME_READ)
                 if stale:
                     findings.append(StaleRead(
                         epoch=epoch.index, epoch_label=epoch.label,
@@ -87,11 +116,16 @@ def replay_stale_reads(trace: Trace, marking: Marking,
                 if marked and not marked_read_validates:
                     continue  # SC bypass: cache copy untouched
                 if not stale or marked:
-                    copy_epoch[(proc, event.addr)] = epoch.index
+                    copies.setdefault(event.addr, {})[proc] = epoch.index
                 # An unmarked stale read hits on the old copy: its age is
                 # unchanged (and the violation is already recorded).
         for addr, proc in pending:
             last_write.setdefault(addr, {})[proc] = epoch.index
+            if invalidating:
+                holders = copies.get(addr)
+                if holders:
+                    for other in [p for p in holders if p != proc]:
+                        del holders[other]
 
     return findings
 

@@ -12,17 +12,22 @@ Commands
     Regenerate a paper table/figure.
 ``sweep <workload> --axis name=v1,v2,... [--scheme ...]``
     Grid study over machine parameters (axes: line, size, k, procs, wbuf).
-``lint <workload> [--scheme tpi|sc] [--mode inline|summary|none]``
+``lint <workload> [--scheme tpi|sc|tardis|snoop] [--mode inline|summary|none]``
     Verify the marking pass against the independent staleness oracle and
-    the dynamic sanitizer; see docs/ANALYSIS.md.  Exit codes: 0 clean,
+    the dynamic sanitizer; see docs/ANALYSIS.md.  The hardware schemes
+    (``tardis``/``snoop``) have no marking: they run the sanitizer alone
+    under the scheme's hardware freshness model.  Exit codes: 0 clean,
     1 findings (errors, or warnings with ``--strict``), 2 usage error.
     ``--modelcheck`` appends the protocol verification below.
-``modelcheck [--procs N --lines N --words N --k N --epochs N]``
-    Bounded-exhaustive verification of the TPI protocol itself: enumerate
+``modelcheck [--scheme tpi|tardis] [--procs N --lines N --words N --k N ...]``
+    Bounded-exhaustive verification of a protocol itself: enumerate
     every reachable state of tiny configurations and assert staleness
     safety, checking the exact rule functions the simulator executes
-    (see docs/ANALYSIS.md).  Without bounds flags, runs the default
-    config grid (>= 2 counter wrap-arounds each).  ``--self-test`` seeds
+    (see docs/ANALYSIS.md).  ``--scheme tpi`` (default) verifies the
+    1996 timetag protocol (``--epochs`` bounds the run; the default grid
+    forces >= 2 counter wrap-arounds); ``--scheme tardis`` verifies the
+    Tardis lease protocol (``--lease``/``--max-ts`` bound the run; the
+    default grid reaches >= 2 timestamp rebases).  ``--self-test`` seeds
     known protocol bugs and requires 100% counterexample detection.
     Exit codes as for ``lint``.
 ``cache stats|clear``
@@ -130,7 +135,9 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("workload",
                       help="workload name (see `repro list`) or 'all'")
     lint.add_argument("--scheme", action="append", metavar="SCHEME",
-                      help="map to check: tpi, sc (repeatable; default both)")
+                      help="map to check: tpi, sc — or a hardware scheme "
+                           "to sanitize: tardis, snoop (repeatable; "
+                           "default tpi+sc)")
     lint.add_argument("--mode", action="append", metavar="MODE",
                       help="interprocedural mode: inline, summary, none "
                            "(repeatable; default all three)")
@@ -154,7 +161,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="do not read or write the artifact cache")
 
     mck = sub.add_parser("modelcheck",
-                         help="bounded-exhaustive TPI protocol verification")
+                         help="bounded-exhaustive protocol verification "
+                              "(TPI timetags or Tardis leases)")
+    mck.add_argument("--scheme", choices=("tpi", "tardis"), default="tpi",
+                     help="protocol to verify: the 1996 TPI timetags or "
+                          "the Tardis lease protocol (default tpi)")
     mck.add_argument("--procs", type=int, metavar="N",
                      help="processors (2..4); with any bounds flag set, a "
                           "single config replaces the default grid")
@@ -163,10 +174,17 @@ def _build_parser() -> argparse.ArgumentParser:
     mck.add_argument("--words", type=int, metavar="N",
                      help="words per line (1..4)")
     mck.add_argument("--k", type=int, metavar="BITS",
-                     help="timetag width in bits (1..4)")
+                     help="timetag/timestamp width in bits (tpi 1..4, "
+                          "tardis 2..4)")
     mck.add_argument("--epochs", type=int, metavar="N",
-                     help="epoch bound (1..64; 2^k epochs = one counter "
-                          "wrap; the default grid forces >= 2 wraps)")
+                     help="tpi only: epoch bound (1..64; 2^k epochs = one "
+                          "counter wrap; the default grid forces >= 2 wraps)")
+    mck.add_argument("--lease", type=int, metavar="N",
+                     help="tardis only: read-lease length in timestamp "
+                          "units (1..2^(k-1)-1)")
+    mck.add_argument("--max-ts", type=int, metavar="N", dest="max_ts",
+                     help="tardis only: logical-time bound (1..64; the "
+                          "default grid reaches >= 2 rebases per config)")
     mck.add_argument("--strict", action="store_true",
                      help="exit 1 on warnings too, not just errors")
     mck.add_argument("--self-test", action="store_true",
@@ -411,30 +429,54 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_modelcheck(args) -> int:
-    from repro.analysis import ModelConfig, modelcheck_report, protocol_self_test
     from repro.analysis.diagnostics import EXIT_USAGE
     from repro.runtime import ArtifactCache
 
-    bounds = {"n_procs": args.procs, "n_lines": args.lines,
-              "line_words": args.words, "timetag_bits": args.k,
-              "max_epochs": args.epochs}
+    tardis = args.scheme == "tardis"
+    if not tardis and (args.lease is not None or args.max_ts is not None):
+        print("error: --lease/--max-ts apply to --scheme tardis only",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if tardis and args.epochs is not None:
+        print("error: --epochs applies to --scheme tpi only (the tardis "
+              "horizon is --max-ts)", file=sys.stderr)
+        return EXIT_USAGE
+    if tardis:
+        from repro.analysis import (
+            TardisModelConfig as config_cls,
+            tardis_modelcheck_report as report_fn,
+            tardis_self_test as self_test_fn,
+        )
+
+        bounds = {"n_procs": args.procs, "n_lines": args.lines,
+                  "line_words": args.words, "timestamp_bits": args.k,
+                  "lease": args.lease, "max_ts": args.max_ts}
+    else:
+        from repro.analysis import (
+            ModelConfig as config_cls,
+            modelcheck_report as report_fn,
+            protocol_self_test as self_test_fn,
+        )
+
+        bounds = {"n_procs": args.procs, "n_lines": args.lines,
+                  "line_words": args.words, "timetag_bits": args.k,
+                  "max_epochs": args.epochs}
     custom: Dict[str, int] = {key: value for key, value in bounds.items()
                               if value is not None}
     try:
-        configs = [ModelConfig(**custom)] if custom else None
+        configs = [config_cls(**custom)] if custom else None
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
     cache = None if args.no_cache else ArtifactCache(args.cache_dir)
-    report = modelcheck_report(configs, replay=not args.no_replay,
-                               cache=cache)
+    report = report_fn(configs, replay=not args.no_replay, cache=cache)
     print(report.render())
     for line in report.meta.get("results", ()):
         print("  " + line)
     code = report.exit_code(strict=args.strict)
     payload = report.to_dict()
     if args.self_test:
-        result = protocol_self_test(replay=not args.no_replay)
+        result = self_test_fn(replay=not args.no_replay)
         print(result.summary())
         for mutation in result.mutations:
             if mutation.caught:

@@ -1,4 +1,4 @@
-"""The coherence schemes the paper compares.
+"""The coherence schemes the paper compares — plus two modern baselines.
 
 =============  ==============================================================
 ``base``       no caching of shared data; every shared access is remote
@@ -7,6 +7,8 @@
 ``hw``         full-map directory, 3-state MSI invalidation, write-back
 ``limitless``  LimitLess DIR_i directory with software-handled overflow
 ``update``     write-update directory (Firefly/Dragon-style), extension
+``tardis``     Tardis timestamp/lease coherence (PAPERS.md), extension
+``snoop``      bus-snooping MSI, write-back (SNIPPETS.md §2), extension
 =============  ==============================================================
 """
 
@@ -16,9 +18,12 @@ from repro.coherence.sc import SoftwareBypassScheme
 from repro.coherence.tpi import TpiScheme
 from repro.coherence.directory import FullMapDirectoryScheme
 from repro.coherence.limitless import LimitLessScheme
+from repro.coherence.snoop import SnoopBusScheme
+from repro.coherence.tardis import TardisScheme
 from repro.coherence.update import UpdateDirectoryScheme
 
-SCHEME_NAMES = ("base", "sc", "tpi", "hw", "limitless", "update")
+SCHEME_NAMES = ("base", "sc", "tpi", "hw", "limitless", "update", "tardis",
+                "snoop")
 
 __all__ = [
     "AccessResult",
@@ -28,7 +33,9 @@ __all__ = [
     "LimitLessScheme",
     "SCHEME_NAMES",
     "SimContext",
+    "SnoopBusScheme",
     "SoftwareBypassScheme",
+    "TardisScheme",
     "TpiScheme",
     "UpdateDirectoryScheme",
     "make_scheme",

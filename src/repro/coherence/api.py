@@ -190,6 +190,8 @@ def scheme_registry() -> Dict[str, type]:
     from repro.coherence.directory import FullMapDirectoryScheme
     from repro.coherence.limitless import LimitLessScheme
     from repro.coherence.sc import SoftwareBypassScheme
+    from repro.coherence.snoop import SnoopBusScheme
+    from repro.coherence.tardis import TardisScheme
     from repro.coherence.tpi import TpiScheme
     from repro.coherence.update import UpdateDirectoryScheme
 
@@ -200,6 +202,8 @@ def scheme_registry() -> Dict[str, type]:
         "hw": FullMapDirectoryScheme,
         "limitless": LimitLessScheme,
         "update": UpdateDirectoryScheme,
+        "tardis": TardisScheme,
+        "snoop": SnoopBusScheme,
     }
 
 

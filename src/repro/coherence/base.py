@@ -23,9 +23,9 @@ class BaseScheme(CoherenceScheme):
     # Shared accesses never touch a cache and version bumps commute, so no
     # line is order-sensitive within an epoch.
     batch_hot_rule = "none"
-    # No timetags, no write buffer, no directory: BASE bypasses the cache
-    # for shared data and reads none of those config subtrees.
-    config_dead_fields = ("tpi", "write_buffer", "directory")
+    # No timetags, no write buffer, no directory, no leases: BASE bypasses
+    # the cache for shared data and reads none of those config subtrees.
+    config_dead_fields = ("tpi", "write_buffer", "directory", "tardis")
 
     def make_batch_kernel(self):
         from repro.coherence.batch import BaseBatchKernel

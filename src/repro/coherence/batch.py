@@ -584,6 +584,46 @@ class _FullBatchKernel(_BatchKernel):
     def clear_memo(self) -> None:
         self._memo.clear()
 
+    def _exact_events(self, eng, cols, mask, lat_out=None) -> int:
+        """Run the masked events through the scheme's exact access
+        methods, in program order per processor, with the reference
+        engine's accounting (mirrors ``_exec_event``; cold events reach
+        here only for schemes that ignore ``in_critical``)."""
+        scheme = self.scheme
+        result = eng.result
+        bd = result.breakdown
+        hit_lat = self.hit_lat
+        wr, sh, addr, site = cols.wr, cols.sh, cols.addr, cols.site
+        elapsed = 0
+        words = 0
+        for proc, idx in self._parts_idx(cols, mask):
+            for i in idx.tolist():
+                shd = bool(sh[i])
+                if wr[i]:
+                    r = scheme.write(proc, int(addr[i]), int(site[i]),
+                                     shd, False)
+                    if r.latency > hit_lat:
+                        bd["write_stall"] += r.latency
+                    else:
+                        bd["busy"] += r.latency
+                    result.note_write(shd)
+                else:
+                    r = scheme.read(proc, int(addr[i]), int(site[i]),
+                                    shd, False)
+                    if r.kind.is_miss:
+                        bd["read_stall"] += r.latency
+                    else:
+                        bd["busy"] += r.latency
+                    result.note_read(shd, r.kind, r.latency)
+                result.note_traffic(r.read_words, r.write_words,
+                                    r.coherence_words)
+                words += r.total_words
+                if lat_out is not None:
+                    lat_out[i] = r.latency
+                elapsed += r.latency
+        eng._epoch_words += words
+        return elapsed
+
 
 class BaseBatchKernel(_FullBatchKernel):
     """BASE: shared accesses are fixed-cost remote word operations; the
@@ -1361,62 +1401,80 @@ class DirectoryBatchKernel(_FullBatchKernel):
         return elapsed
 
 
-class UpdateBatchKernel(_BatchKernel):
-    """Write-update directory: read hits batch like HW; write hits batch
-    with their per-write broadcast traffic computed in closed form from
-    the (span-constant) sharer sets."""
+class UpdateBatchKernel(_FullBatchKernel):
+    """Write-update directory, full-batch: read hits batch like HW;
+    write hits batch with their per-write broadcast traffic computed in
+    closed form from the sharer sets; misses (and oracle-suspicious
+    reads) run through the scheme's exact access methods in an in-order
+    loop inside :meth:`_apply`.
 
-    def _scan(self, proc, ta, lo, hi):
-        s = ta.set_[lo:hi]
-        line = ta.line[lo:hi]
-        wd = ta.word[lo:hi]
-        wr = ta.is_write[lo:hi]
-        sh = ta.shared[lo:hi]
-        addr = ta.addr[lo:hi]
+    The sharer sets are stable under the batch-first order: a processor's
+    own mid-window fill only adds *itself* to a line's sharer set, which
+    never changes the "other sharers" a broadcast pays for, and
+    evict-coupled cold planning keeps every remote membership fixed for
+    the window.  Batched hits after an in-window fill are proven by the
+    set chain, and the fill's refreshed versions excuse them from the
+    pre-window staleness test."""
 
-        resident = self.tags[proc][s] == line
-        read_ok = resident
+    def _scan(self, cols):
+        line = cols.line
+        wr, sh, addr = cols.wr, cols.sh, cols.addr
+
+        ch = self._set_chains(cols, None, "hold")  # every access installs
+        tags0 = self._gset(self.tags, cols)
+        resident = ch.resident(line, tags0)
+        batch = resident
         if self.check:
-            written_before = prior_same_addr(addr, wr)
-            read_ok = read_ok & (~sh | written_before | (
-                self.cver[proc][s, wd] >= self.shadow.epoch_version[addr]))
-        ok = np.where(wr, resident, read_ok)
-        ctx = {"s": s, "wd": wd, "wr": wr, "sh": sh, "addr": addr,
-               "line": line}
-        return ok, ctx
+            # A batched read serves its cached version, which must meet
+            # the epoch floor unless an in-window write or fill refreshed
+            # it; suspicious reads take the exact path where the oracle
+            # fires against true state.
+            fresh = (self._prior_addr(cols, wr) | ch.prior_any(~resident)
+                     | (self._gword(self.cver, cols)
+                        >= self.shadow.epoch_version[addr]))
+            batch = resident & (wr | ~sh | fresh)
+        return np.ones(cols.n, dtype=bool), {"batch": batch}
 
-    def _apply(self, eng, proc, ta, lo, a, b, ctx):
+    def _apply(self, eng, cols, ctx, lat_out=None):
         scheme = self.scheme
-        s = ctx["s"][a:b]
-        wd = ctx["wd"][a:b]
-        wr = ctx["wr"][a:b]
-        sh = ctx["sh"][a:b]
-        addr = ctx["addr"][a:b]
+        batch = ctx["batch"]
+        s, wd, wr, sh, addr = cols.s, cols.wd, cols.wr, cols.sh, cols.addr
         result = eng.result
-        elapsed = self._charge_work(eng, ta, lo + a, b - a)
+        elapsed = self._work(eng, cols)
 
-        rd = ~wr
+        rd = batch & ~wr
         n_rd = int(rd.sum())
         if n_rd:
             elapsed += self._note_hits(eng, n_rd, int((rd & sh).sum()))
+            if lat_out is not None:
+                lat_out[rd] = self.hit_lat
 
-        n_wr = (b - a) - n_rd
-        if n_wr:
-            result.writes += n_wr
-            aw = addr[wr]
-            self._bump_shadow(aw, proc)
-            self.cver[proc][s[wr], wd[wr]] = self.shadow.version[aw]
-            scheme.total_writes += n_wr
-            shw = wr & sh
+        bw = batch & wr
+        n_bw = int(bw.sum())
+        if n_bw:
+            result.writes += n_bw
+            self._bump_shadow(addr[bw], cols.procv[bw])
+            for p, idx in self._parts_idx(cols, bw):
+                self.cver[p][s[idx], wd[idx]] = self.shadow.version[addr[idx]]
+            scheme.total_writes += n_bw
+            shw = bw & sh
             n_sw = int(shw.sum())
             result.shared_writes += n_sw
             if n_sw:
-                if scheme.coalescing:
-                    self._coalesce(proc, addr[shw])
-                else:
-                    self._traffic(eng, write_words=self._broadcast(
-                        proc, addr[shw], ctx["line"][a:b][shw]))
-            elapsed += self._write_latency(eng, n_sw, n_wr - n_sw)
+                for p, idx in self._parts_idx(cols, shw):
+                    if scheme.coalescing:
+                        self._coalesce(p, addr[idx])
+                    else:
+                        self._traffic(eng, write_words=self._broadcast(
+                            p, addr[idx], cols.line[idx]))
+            elapsed += self._write_latency(eng, n_sw, n_bw - n_sw)
+            if lat_out is not None:
+                lat_out[shw] = self.word_lat if self.seq else self.hit_lat
+                lat_out[bw & ~sh] = self.hit_lat
+
+        slow = ~batch
+        if slow.any():
+            elapsed += self._exact_events(eng, cols, slow, lat_out)
         return elapsed
 
     def _coalesce(self, proc: int, addrs: np.ndarray) -> None:
@@ -1460,6 +1518,348 @@ class UpdateBatchKernel(_BatchKernel):
                         f"update: sharer {q} of line {line} has no copy")
                 self.cver[q][set_index, word] = version
         return words
+
+
+class TardisBatchKernel(_FullBatchKernel):
+    """Tardis, full-batch: live-lease read hits and private write hits
+    are vectorized; everything that talks to the home node (misses,
+    renewals, shared writes) runs through the scheme's *exact* access
+    methods in an in-order loop inside :meth:`_apply`.
+
+    Unlike the other full-batch kernels this one never routes events to
+    the post-apply exact path: a shared write advances the processor's
+    ``pts`` — state that is **not** set-local — so slow events must
+    execute in program order *among themselves*, which the loop
+    preserves and the post-apply path would not.  The scan therefore
+    returns all-ok and only decides which events are provably batchable:
+
+    * a hit proof needs the event's line resident along its set chain
+      with no earlier slow (home-talking) event in the set — slow events
+      are the only ones that move lease/version state, and a demoted
+      candidate re-proves itself harmlessly on the exact path;
+    * a *shared* read additionally needs its lease live at the window's
+      entry ``pts`` and no earlier shared write in its part (``pts``
+      cannot have moved before it executes);
+    * batched private writes and loop events touch disjoint addresses
+      (an address's ``shared`` flag is fixed), so applying the vector
+      side first commutes with the loop.
+
+    Lease grants are commutative maxima and cold-span planning keeps a
+    written line on a single processor, so parts of a merged pre-apply
+    window commute exactly as the dispatch-order reference does.
+    """
+
+    def __init__(self, scheme):
+        super().__init__(scheme)
+        self.rts = [a[:, 0] for a in scheme.rts_a]
+
+    def preapply(self, eng, pieces, cols: Optional[_Cols] = None) -> bool:
+        # ``pts`` is epoch-global: a *hot* shared write advances it
+        # between cold events, which pre-applying would reorder past the
+        # lease tests.  Only epochs whose events are all cold (every
+        # selector is None) can pre-apply; others take the span path,
+        # whose scans always see the current ``pts``.
+        if any(sel is not None for _proc, _ta, sel in pieces):
+            return False
+        return super().preapply(eng, pieces, cols)
+
+    def _scan(self, cols):
+        s, line, wd = cols.s, cols.line, cols.wd
+        wr, sh, addr = cols.wr, cols.sh, cols.addr
+
+        ch = self._set_chains(cols, None, "hold")  # every access installs
+        tags0 = self._gset(self.tags, cols)
+        resident = ch.resident(line, tags0)
+
+        ptsv = np.empty(cols.n, dtype=np.int64)
+        prior_sw = np.zeros(cols.n, dtype=bool)
+        swr = wr & sh
+        for p, lo, hi in cols.parts:
+            ptsv[lo:hi] = self.scheme.pts[p]
+            w = swr[lo:hi]
+            prior_sw[lo:hi] = (np.cumsum(w) - w) > 0
+        lease0 = self._gset(self.rts, cols) >= ptsv
+        if self.check:
+            # The batched hit serves its cached version, which must meet
+            # the epoch floor; suspicious reads go to the exact path
+            # where the oracle fires against true state.
+            lease0 = lease0 & (self._gword(self.cver, cols)
+                               >= self.shadow.epoch_version[addr])
+        cand = np.where(wr, ~sh & resident,
+                        resident & (~sh | (lease0 & ~prior_sw)))
+        # Only slow events move lease/version state; a batched hit must
+        # precede every slow event of its set so its entry-state proof
+        # still holds when the vector side applies.
+        batch = cand & ~ch.prior_any(~cand)
+        return np.ones(cols.n, dtype=bool), {"batch": batch}
+
+    def _apply(self, eng, cols, ctx, lat_out=None):
+        batch = ctx["batch"]
+        s, wd, wr, sh, addr = cols.s, cols.wd, cols.wr, cols.sh, cols.addr
+        result = eng.result
+        elapsed = self._work(eng, cols)
+
+        rd = batch & ~wr
+        n_rd = int(rd.sum())
+        if n_rd:
+            elapsed += self._note_hits(eng, n_rd, int((rd & sh).sum()))
+            if lat_out is not None:
+                lat_out[rd] = self.hit_lat
+
+        pw = batch & wr  # private write hits (shared writes are slow)
+        n_pw = int(pw.sum())
+        if n_pw:
+            result.writes += n_pw
+            self._bump_shadow(addr[pw], cols.procv[pw])
+            for p, idx in self._parts_idx(cols, pw):
+                self.cver[p][s[idx], wd[idx]] = self.shadow.version[addr[idx]]
+            elapsed += self._write_latency(eng, 0, n_pw)
+            if lat_out is not None:
+                lat_out[pw] = self.hit_lat
+
+        slow = ~batch
+        if slow.any():
+            elapsed += self._exact_events(eng, cols, slow, lat_out)
+        return elapsed
+
+
+class SnoopBatchKernel(_FullBatchKernel):
+    """Snooping MSI, full-batch: hits, silent M-state writes, and fills
+    are vectorized; misses and BusUpgr upgrades run through a compact
+    in-order loop that performs only the *protocol* side (snooped
+    invalidations, classification, traffic/latency).
+
+    The structure mirrors :class:`DirectoryBatchKernel` — snooping makes
+    the same invalidation decisions as the full-map directory, it just
+    *finds* the holders by snooping instead of looking them up — but the
+    snoop needs no directory mirror at all: a holder is any cache whose
+    (direct-mapped) tag view matches the line, and the M holder is the
+    one with the dirty bit, so the loop's "bus" is a gather over the
+    kernel's own tag/dirty views.  Cold-span planning gives the same
+    commutation guarantees as for the directory (snoop declares the same
+    hot rule), so remote invalidations inside the loop are safe.
+    """
+
+    def _holders(self, si: int, ln: int, skip: int):
+        tags = self.tags
+        return [q for q in range(len(tags))
+                if q != skip and tags[q][si] == ln]
+
+    def _scan(self, cols):
+        s, line, wd = cols.s, cols.line, cols.wd
+        wr, sh, addr = cols.wr, cols.sh, cols.addr
+
+        ch = self._set_chains(cols, None, "hold")  # every access holds
+        tags0 = self._gset(self.tags, cols)
+        resident = ch.resident(line, tags0)
+        miss = ~resident
+        # M at event time: the copy was dirty at window start, or some
+        # earlier write to the line (any write sets the dirty bit, and
+        # nothing in a cold span clears it mid-window).
+        m_now = ((tags0 == line) & self._gset(self.dirty, cols)
+                 ) | ch.prior_any(wr)
+        upgrade = wr & sh & resident & ~m_now
+
+        bad = ch.conflict
+        if self.check:
+            # MSI reads must observe the exact current version: fills and
+            # same-address writes refetch it, anything else must compare
+            # equal or the whole set goes to the exact path so the oracle
+            # fires against true state.
+            fresh = self._prior_addr(cols, wr) | ch.prior_any(miss)
+            stale = (~wr & sh & resident & ~fresh
+                     & (self._gword(self.cver, cols)
+                        != self.shadow.version[addr]))
+            if stale.any():
+                bad = bad | ch.group_any(stale)
+
+        ctx = {"miss": miss, "upgrade": upgrade,
+               "occ0": tags0, "dirty0": self._gset(self.dirty, cols)}
+        return ~bad, ctx
+
+    def _apply(self, eng, cols, ctx, lat_out=None):
+        c = ctx
+        s, wd, wr, sh, addr = cols.s, cols.wd, cols.wr, cols.sh, cols.addr
+        line = cols.line
+        miss, upgrade = c["miss"], c["upgrade"]
+        result = eng.result
+        bd = result.breakdown
+        elapsed = self._work(eng, cols)
+
+        rd = ~wr
+        rhit = rd & ~miss
+        n_rh = int(rhit.sum())
+        if n_rh:
+            elapsed += self._note_hits(eng, n_rh, int((rhit & sh).sum()))
+            if lat_out is not None:
+                lat_out[rhit] = self.hit_lat
+
+        if miss.any():
+            # Vector side of the fills (the protocol side runs in the
+            # loop below): reset the set and snapshot shadow versions
+            # before this window's bumps — a miss is its set's first
+            # event, so no write can precede the install of its own line.
+            for p, idx in self._parts_idx(cols, miss):
+                su = s[idx]
+                self.used[p][su] = False
+                self.dirty[p][su] = False
+                self._install_lines(p, su, line[idx])
+        for p, lo, hi in cols.parts:  # every access marks its word used
+            self.used[p][s[lo:hi], wd[lo:hi]] = True
+
+        n_wr = int(wr.sum())
+        if n_wr:
+            result.writes += n_wr
+            result.shared_writes += int((wr & sh).sum())
+            self._bump_shadow(addr[wr], cols.procv[wr])
+            for p, idx in self._parts_idx(cols, wr):
+                sw = s[idx]
+                self.dirty[p][sw] = True
+                self.cver[p][sw, wd[idx]] = self.shadow.version[addr[idx]]
+            # Private and M-state write hits are silent: hit latency, no
+            # bus transaction.  Misses and upgrades price in the loop.
+            silent = wr & ~miss & ~upgrade
+            n_silent = int(silent.sum())
+            cycles = n_silent * self.hit_lat
+            bd["busy"] += cycles
+            elapsed += cycles
+            if lat_out is not None:
+                lat_out[silent] = self.hit_lat
+
+        slow = miss | upgrade
+        if slow.any():
+            elapsed += self._slow_events(eng, cols, c, slow, lat_out)
+        return elapsed
+
+    def _invalidate_copies(self, ln: int, si: int, word: int,
+                           skip: int) -> int:
+        """Snoop-invalidate every other copy; classify each; returns the
+        coherence words moved (mirrors ``SnoopBusScheme._invalidate_holders``,
+        with the per-copy cache mutations inlined on the 1-D views)."""
+        scheme = self.scheme
+        cw = 0
+        for q in self._holders(si, ln, skip):
+            used_word = bool(self.used[q][si, word])
+            reason = _REASON_TRUE if used_word else _REASON_FALSE
+            scheme.inval_reason[q][ln] = reason
+            scheme.invalidations_sent += 1
+            if reason == _REASON_FALSE:
+                scheme.false_invalidations += 1
+            if self.dirty[q][si]:
+                cw += self.line_words  # dirty data returns
+            self.tags[q][si] = -1
+            self.dirty[q][si] = False
+            self.wv[q][si] = False
+            self.used[q][si] = False
+            cw += 2  # invalidate + ack
+        return cw
+
+    def _slow_events(self, eng, cols, c, slow, lat_out=None) -> int:
+        """Misses and upgrades, in execution order per processor: bus
+        transactions, snooped invalidations, classification, and
+        latency/traffic — the cache-array effects are already applied
+        vectorized.  The commutation argument is the directory kernel's."""
+        scheme = self.scheme
+        result = eng.result
+        bd = result.breakdown
+        mc = result.miss_counts
+        lw = self.line_words
+        hit_lat = self.hit_lat
+        ctrl_lat = self.network.control_latency()
+        elapsed = 0
+        rw = wwt = cw = 0
+        wr, sh, line, wd, s = cols.wr, cols.sh, cols.line, cols.wd, cols.s
+        occ0, dirty0, upgrade = c["occ0"], c["dirty0"], c["upgrade"]
+        for proc, idx in self._parts_idx(cols, slow):
+            seen = scheme.seen_lines[proc]
+            for i in idx.tolist():
+                ln = int(line[i])
+                si = int(s[i])
+                word = int(wd[i])
+                shd = bool(sh[i])
+                if upgrade[i]:
+                    # BusUpgr from S: invalidate every other copy.
+                    cw += self._invalidate_copies(ln, si, word, proc) + 2
+                    lat = hit_lat
+                    if self.seq:  # wait for the bus grant
+                        lat += ctrl_lat
+                    if lat > hit_lat:
+                        bd["write_stall"] += lat
+                    else:
+                        bd["busy"] += lat
+                    if lat_out is not None:
+                        lat_out[i] = lat
+                    elapsed += lat
+                    continue
+                # A miss: write back the pre-window occupant, fetch.
+                if occ0[i] >= 0 and dirty0[i]:
+                    wwt += 1 + lw  # silent dirty write-back
+                rw += 1 + lw  # the fill
+                seen_line = ln in seen
+                if not wr[i]:
+                    # BusRd: a dirty holder snoops it, flushes, demotes.
+                    kind = (scheme._miss_kind(proc, ln) if shd else
+                            (MissKind.REPLACEMENT if seen_line
+                             else MissKind.COLD))
+                    lat = self.miss_lat
+                    if shd:
+                        for q in self._holders(si, ln, proc):
+                            if self.dirty[q][si]:
+                                self.dirty[q][si] = False
+                                lat += ctrl_lat
+                                cw += 2 + lw  # snoop + flush
+                                scheme.cache_to_cache_transfers += 1
+                                break
+                    seen.add(ln)
+                    result.reads += 1
+                    if shd:
+                        result.shared_reads += 1
+                    mc[kind] = mc.get(kind, 0) + 1
+                    result.miss_latency_total += lat
+                    result.miss_latency_count += 1
+                    bd["read_stall"] += lat
+                    if lat_out is not None:
+                        lat_out[i] = lat
+                    elapsed += lat
+                else:
+                    lat = hit_lat
+                    if shd:
+                        # BusRdX: classify, invalidate every other copy.
+                        scheme._miss_kind(proc, ln)  # consumes inval_reason
+                        owner = -1
+                        for q in self._holders(si, ln, proc):
+                            if self.dirty[q][si]:
+                                owner = q
+                                break
+                        if owner >= 0:
+                            used_word = bool(self.used[owner][si, word])
+                            reason = (_REASON_TRUE if used_word
+                                      else _REASON_FALSE)
+                            scheme.inval_reason[owner][ln] = reason
+                            scheme.invalidations_sent += 1
+                            if reason == _REASON_FALSE:
+                                scheme.false_invalidations += 1
+                            self.tags[owner][si] = -1
+                            self.dirty[owner][si] = False
+                            self.wv[owner][si] = False
+                            self.used[owner][si] = False
+                            cw += 2 + lw  # flush + inval
+                            scheme.cache_to_cache_transfers += 1
+                        else:
+                            cw += self._invalidate_copies(ln, si, word, proc)
+                        if self.seq:  # the exclusive fetch stalls the CPU
+                            lat += self.miss_lat
+                    seen.add(ln)
+                    if lat > hit_lat:
+                        bd["write_stall"] += lat
+                    else:
+                        bd["busy"] += lat
+                    if lat_out is not None:
+                        lat_out[i] = lat
+                    elapsed += lat
+        self._traffic(eng, read_words=rw, write_words=wwt,
+                      coherence_words=cw)
+        return elapsed
 
 
 # ---------------------------------------------------------------------------
@@ -1543,5 +1943,6 @@ def resolve_geometries(addr, geometries):
 
 
 __all__ = ["BaseBatchKernel", "DirectoryBatchKernel", "GangParams",
-           "ScBatchKernel", "TpiBatchKernel", "UpdateBatchKernel",
+           "ScBatchKernel", "SnoopBatchKernel", "TardisBatchKernel",
+           "TpiBatchKernel", "UpdateBatchKernel",
            "prior_same_addr", "resolve_geometries"]

@@ -45,9 +45,10 @@ class FullMapDirectoryScheme(CoherenceScheme):
     batch_hot_rule = "directory"
     batch_evict_coupled = True
     # The full-map directory keeps one presence bit per processor — the
-    # DirectoryConfig knobs are LimitLess-only — and uses neither timetags
-    # nor a write buffer, so fig15/fig17-style sweeps collapse its column.
-    config_dead_fields = ("tpi", "write_buffer", "directory")
+    # DirectoryConfig knobs are LimitLess-only — and uses neither timetags,
+    # a write buffer, nor leases, so fig15/fig17-style sweeps collapse its
+    # column.
+    config_dead_fields = ("tpi", "write_buffer", "directory", "tardis")
 
     def extras(self) -> Dict[str, int]:
         return {"invalidations_sent": self.invalidations_sent,

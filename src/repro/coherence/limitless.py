@@ -16,9 +16,9 @@ from repro.coherence.directory import FullMapDirectoryScheme
 class LimitLessScheme(FullMapDirectoryScheme):
     name = "limitless"
     # Unlike the full map it does read DirectoryConfig (pointer count,
-    # trap cost), so only the hw-inherited timetag/write-buffer fields
-    # stay dead.
-    config_dead_fields = ("tpi", "write_buffer")
+    # trap cost), so only the hw-inherited timetag/write-buffer/lease
+    # fields stay dead.
+    config_dead_fields = ("tpi", "write_buffer", "tardis")
 
     def __init__(self, ctx):
         super().__init__(ctx)

@@ -26,8 +26,9 @@ from repro.memsys.wbuffer import make_write_buffer, wbuffer_extras
 class SoftwareBypassScheme(CoherenceScheme):
     name = "sc"
     batch_hot_rule = "written"
-    # Invalidation is index-driven (no timetags) and there is no directory.
-    config_dead_fields = ("tpi", "directory")
+    # Invalidation is index-driven (no timetags, no leases) and there is
+    # no directory.
+    config_dead_fields = ("tpi", "directory", "tardis")
 
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)

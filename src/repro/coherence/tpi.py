@@ -74,9 +74,9 @@ from repro.memsys.wbuffer import make_write_buffer, wbuffer_extras
 class TpiScheme(CoherenceScheme):
     name = "tpi"
     batch_hot_rule = "written"
-    # TPI reads its own timetag config and the write-buffer kind; only
-    # the directory parameters are foreign to it.
-    config_dead_fields = ("directory",)
+    # TPI reads its own timetag config and the write-buffer kind; the
+    # directory and Tardis-lease parameters are foreign to it.
+    config_dead_fields = ("directory", "tardis")
 
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)

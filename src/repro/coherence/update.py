@@ -41,9 +41,10 @@ class UpdateDirectoryScheme(CoherenceScheme):
     name = "update"
     batch_hot_rule = "written"
     batch_evict_coupled = True
-    # Updates push data directly; no timetags and no sharer directory
-    # config (the write-buffer kind *is* read: coalescing merges updates).
-    config_dead_fields = ("tpi", "directory")
+    # Updates push data directly; no timetags, no leases, and no sharer
+    # directory config (the write-buffer kind *is* read: coalescing
+    # merges updates).
+    config_dead_fields = ("tpi", "directory", "tardis")
 
     def extras(self) -> Dict[str, int]:
         out = {"updates_sent": self.updates_sent,

@@ -131,6 +131,32 @@ class TpiConfig:
 
 
 @dataclass(frozen=True)
+class TardisConfig:
+    """Tardis timestamp-coherence parameters (PAPERS.md, Tardis 2.0).
+
+    ``lease`` is the number of logical-timestamp units a read lease
+    extends past the reader's ``pts``; ``timestamp_bits`` bounds the
+    hardware counters, modeled by rebasing (timestamp compression) —
+    the lease must fit in half the counter window so live leases stay
+    representable across a rebase (see
+    :func:`repro.coherence.tardis_rules.rebase_base`).
+    """
+
+    lease: int = 8
+    timestamp_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.timestamp_bits <= 16:
+            raise ConfigError("timestamp width must be between 2 and 16 bits")
+        if not 1 <= self.lease <= (1 << (self.timestamp_bits - 1)) - 1:
+            raise ConfigError("lease must lie in [1, 2^(bits-1) - 1]")
+
+    @property
+    def modulus(self) -> int:
+        return 1 << self.timestamp_bits
+
+
+@dataclass(frozen=True)
 class DirectoryConfig:
     """Hardware directory parameters (full-map MSI, and LimitLess DIR_i)."""
 
@@ -177,6 +203,7 @@ class MachineConfig:
     n_procs: int = 16
     cache: CacheConfig = field(default_factory=CacheConfig)
     tpi: TpiConfig = field(default_factory=TpiConfig)
+    tardis: TardisConfig = field(default_factory=TardisConfig)
     directory: DirectoryConfig = field(default_factory=DirectoryConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     hit_latency: int = 1

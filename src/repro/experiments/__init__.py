@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.common.config import MachineConfig
 from repro.experiments import (
+    cmp_coherence,
     fig5_storage,
     fig8_params,
     fig11_miss_rates,
@@ -55,6 +56,7 @@ EXPERIMENTS = {
     "fig23_scaling": fig23_scaling.run,
     "fig24_timeline": fig24_timeline.run,
     "fig25_taggranularity": fig25_taggranularity.run,
+    "cmp_coherence": cmp_coherence.run,
 }
 
 

@@ -70,10 +70,28 @@ class Engine:
     # ------------------------------------------------------------------ run
 
     def run(self) -> SimResult:
-        global_time = 0
+        self.start()
         for epoch in self.trace.epochs:
-            global_time = self._run_epoch(epoch, global_time)
-        self.result.exec_cycles = global_time
+            self.step(epoch)
+        return self.finish()
+
+    # The epoch-at-a-time face of the same loop: a gang runs many engines
+    # in lockstep (one epoch across every member, then the next), so each
+    # epoch's shared trace-static analyses are built once and consumed
+    # while still cache-hot.  ``run() == start(); step(each); finish()``
+    # by construction — there is only one loop body.
+
+    def start(self) -> None:
+        """Reset the global clock; feed epochs through :meth:`step`."""
+        self._global_time = 0
+
+    def step(self, epoch) -> None:
+        """Advance this engine through one epoch (in trace order)."""
+        self._global_time = self._run_epoch(epoch, self._global_time)
+
+    def finish(self) -> SimResult:
+        """Seal and return the result after the last :meth:`step`."""
+        self.result.exec_cycles = self._global_time
         self.result.epochs = len(self.trace.epochs)
         self.result.final_network_load = self.network.rho
         self.result.engine = self.engine_name

@@ -17,7 +17,11 @@ scratch, the gang:
   downstream — reuses them;
 * replays each member's hot (order-sensitive) events through the
   reference heap at identical ``(clock, proc, rank, idx)`` keys, exactly
-  as a solo :class:`~repro.sim.fastengine.FastEngine` run would.
+  as a solo :class:`~repro.sim.fastengine.FastEngine` run would;
+* steps every member through the trace **in lockstep** (epoch by epoch,
+  not member by member), so the *scheme* axis broadcasts too: one pass
+  over each epoch's shared analyses fills every member's counters while
+  the structures are cache-hot (:func:`run_gang`).
 
 Per-config *protocol* state is never shared: each member's results must
 stay byte-identical to running that config alone on either engine (the
@@ -147,6 +151,17 @@ def run_gang(prepared, members: Sequence[GangMember],
     ``"reference"`` member runs the untouched reference path while the
     rest share the primed analyses.  Results come back in member order,
     each byte-identical to a solo run of that (machine, scheme).
+
+    The members run in **lockstep**: one epoch is stepped across every
+    engine before any engine moves to the next (the engines' epoch-at-a-
+    time ``start``/``step``/``finish`` face).  That broadcasts the
+    *scheme* axis the same way priming broadcasts the geometry axis —
+    each epoch's shared :class:`~repro.sim.fastengine._EpochBatch`
+    analyses, hot partitions, and pre-apply windows are built by the
+    first member to arrive and consumed by the rest while still
+    cache-hot, instead of falling out of cache between whole-trace
+    passes.  Per-member protocol state stays private, so the lockstep
+    is pure scheduling: each result is byte-identical to a solo run.
     """
     members = list(members)
     gang = [m.machine for m in members
@@ -158,9 +173,15 @@ def run_gang(prepared, members: Sequence[GangMember],
         phases = stats.setdefault("phases", {})
         phases["gang"] = (phases.get("gang", 0.0)
                           + time.perf_counter() - started)
-    return [make_engine(prepared.trace, prepared.marking, member.machine,
-                        member.scheme).run()
-            for member in members]
+    engines = [make_engine(prepared.trace, prepared.marking, member.machine,
+                           member.scheme)
+               for member in members]
+    for engine in engines:
+        engine.start()
+    for epoch in prepared.trace.epochs:
+        for engine in engines:
+            engine.step(epoch)
+    return [engine.finish() for engine in engines]
 
 
 __all__ = ["GangMember", "distinct_backends", "prime_group", "run_gang"]

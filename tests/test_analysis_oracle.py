@@ -15,6 +15,7 @@ from repro.compiler.marking import (
 )
 from repro.ir import ProgramBuilder
 from repro.trace.generate import generate_trace
+from repro.workloads import workload_names
 
 
 def producer_consumer(n=8):
@@ -240,8 +241,66 @@ class TestSanitizer:
 
     def test_unknown_scheme_rejected(self):
         _, marking, trace = self._trace_and_marking()
-        with pytest.raises(ValueError, match="'tpi' or 'sc'"):
+        with pytest.raises(ValueError, match="tpi/sc/tardis/snoop"):
             replay_stale_reads(trace, marking, "hw")
+
+
+class TestHardwareSchemeSanitizer:
+    """The hardware freshness models: tardis and snoop need no marking."""
+
+    def _trace_and_marking(self):
+        program = producer_consumer()
+        marking = mark_program(program)
+        trace = generate_trace(program, default_machine(), None)
+        return program, marking, trace
+
+    def test_tardis_observes_the_same_staleness_tpi_does(self):
+        # Under a sound marking, TPI's Time-Reads and Tardis's expired
+        # leases terminate exactly the same stale reference sequences —
+        # Tardis just covers them in hardware.
+        _, marking, trace = self._trace_and_marking()
+        tpi = replay_stale_reads(trace, marking, "tpi")
+        tardis = replay_stale_reads(trace, marking, "tardis")
+        assert tpi and set(tardis) == set(tpi)
+        assert all(f.marked for f in tardis)
+        assert unmarked_stale_sites(tardis) == {}
+
+    def test_tardis_coverage_survives_a_broken_marking(self):
+        # Drop every mark: TPI now has violations, Tardis still covers
+        # every stale read — the hardware does not consult the marking.
+        program, marking, trace = self._trace_and_marking()
+        stripped = Marking(tpi={}, sc={}, graph=marking.graph,
+                           epoch_writes=marking.epoch_writes)
+        assert unmarked_stale_sites(
+            replay_stale_reads(trace, stripped, "tpi")) != {}
+        tardis = replay_stale_reads(trace, stripped, "tardis")
+        assert tardis and unmarked_stale_sites(tardis) == {}
+
+    def test_snoop_invalidations_leave_no_stale_copies(self):
+        # The committing write destroys remote copies, so the stale
+        # reference sequence never reaches a read.
+        _, marking, trace = self._trace_and_marking()
+        assert replay_stale_reads(trace, marking, "snoop") == []
+
+    def test_lint_program_hardware_schemes(self):
+        report = lint_program(producer_consumer(), modes=["inline"],
+                              schemes=["tardis", "snoop"])
+        assert report.exit_code() == 0
+        assert report.diagnostics == []
+        assert report.meta["stale.tardis"] > 0
+        assert report.meta["stale.snoop"] == 0
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_hardware_models_cover_every_workload(self, name):
+        from repro.workloads import build_workload
+
+        program = build_workload(name, size="small")
+        marking = mark_program(program)
+        trace = generate_trace(program, default_machine(), None)
+        tardis = replay_stale_reads(trace, marking, "tardis")
+        assert all(f.marked for f in tardis)
+        assert unmarked_stale_sites(tardis) == {}
+        assert replay_stale_reads(trace, marking, "snoop") == []
 
 
 class TestLintProgram:

@@ -30,7 +30,8 @@ from repro.sim import prepare, simulate
 from repro.workloads import build_workload, workload_names
 from tests.strategies import machines, rich_programs
 
-SCHEMES = ("base", "sc", "tpi", "hw", "limitless", "update")
+SCHEMES = ("base", "sc", "tpi", "hw", "limitless", "update", "tardis",
+           "snoop")
 
 SETTINGS = dict(deadline=None,
                 suppress_health_check=[HealthCheck.too_slow,
@@ -124,3 +125,13 @@ class TestRandomPrograms:
     def test_parity_limitless_update(self, program, machine):
         assert_parity(program, "limitless", machine)
         assert_parity(program, "update", machine)
+
+    @settings(max_examples=15, **SETTINGS)
+    @given(program=rich_programs(), machine=machines())
+    def test_parity_tardis(self, program, machine):
+        assert_parity(program, "tardis", machine)
+
+    @settings(max_examples=15, **SETTINGS)
+    @given(program=rich_programs(), machine=machines())
+    def test_parity_snoop(self, program, machine):
+        assert_parity(program, "snoop", machine)

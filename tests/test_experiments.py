@@ -19,6 +19,7 @@ class TestHarness:
             "fig17_wbuffer", "fig18_migration", "fig19_consistency",
             "fig20_update", "fig21_cache", "fig22_breakdown",
             "fig23_scaling", "fig24_timeline", "fig25_taggranularity",
+            "cmp_coherence",
         }
         assert set(experiment_ids()) == expected
 
@@ -66,6 +67,25 @@ class TestFastExperiments:
             name, base, sc, tpi, hw = row
             assert base >= sc >= tpi >= 0
             assert hw >= 0
+
+    def test_cmp_coherence_small_shapes(self):
+        """The 1996-vs-2015 comparison: the scheme-gang results must
+        match solo runs, and the note's shape claims must hold."""
+        result = run_experiment("cmp_coherence", size="small")
+        bench = Bench(size="small")
+        for row in result.rows:
+            name = row[0]
+            # snoop and the directory decide invalidations identically on
+            # this fabric: their miss columns coincide.
+            assert result.cell(name, "SNOOP miss") == \
+                result.cell(name, "HW miss")
+            # Tardis lease expiries cost more misses than TPI's marks.
+            assert result.cell(name, "TARDIS miss") >= \
+                result.cell(name, "TPI miss")
+            # Gang results are byte-identical to a solo simulation.
+            solo = bench.result(name, "tardis")
+            assert result.cell(name, "TARDIS miss") == \
+                pytest.approx(100.0 * solo.miss_rate)
 
 
 class TestBarCharts:

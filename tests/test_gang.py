@@ -27,7 +27,8 @@ from hypothesis import strategies as st
 
 from repro.coherence.api import dead_config_fields, scheme_registry
 from repro.common.config import (WORD_BYTES, CacheConfig, DirectoryConfig,
-                                 TpiConfig, WriteBufferKind, default_machine)
+                                 TardisConfig, TpiConfig, WriteBufferKind,
+                                 default_machine)
 from repro.runtime import ArtifactCache, Job, Telemetry, effective_jobs
 from repro.runtime.cache import KIND_PREPARED, KIND_RESULT
 from repro.sim import prepare, simulate
@@ -127,6 +128,42 @@ class TestGangParity:
         assert primed == unprimed
 
 
+class TestSchemeAxisGang:
+    """Tentpole pin: one gang broadcasts the *scheme* axis in lockstep;
+    every member stays byte-identical to its solo fast and solo
+    reference runs (arc2d exercises the sync-epoch fallback inside a
+    ganged member too)."""
+
+    SCHEMES = ("base", "sc", "tpi", "hw", "update", "tardis", "snoop")
+
+    @pytest.mark.parametrize("name", ["ocean", "arc2d"])
+    def test_scheme_gang_matches_solo(self, name):
+        program = build_workload(name, size="small")
+        run = prepare(program, MACHINE)
+        members = [GangMember(MACHINE, scheme) for scheme in self.SCHEMES]
+        ganged = run_gang(run, members)
+        for scheme, result in zip(self.SCHEMES, ganged):
+            solo_fast = simulate(
+                prepare(program, MACHINE.with_(engine="fast")), scheme)
+            solo_ref = simulate(
+                prepare(program, MACHINE.with_(engine="reference")), scheme)
+            assert snapshot(result) == snapshot(solo_fast)
+            assert snapshot(result) == snapshot(solo_ref)
+
+    def test_scheme_sweep_gang_vs_fast(self):
+        """`--engine gang` == `--engine fast`, per scheme, whole axis."""
+        renders = []
+        for engine in ("fast", "gang"):
+            sweep = Sweep(build_workload("ocean", size="small"),
+                          schemes=self.SCHEMES,
+                          base=MACHINE.with_(engine=engine))
+            sweep.add_axis("line", axis_cache_lines([1, 4]))
+            points = sweep.run()
+            renders.append([(p.labels, p.scheme, snapshot(p.result))
+                            for p in points])
+        assert renders[0] == renders[1]
+
+
 class TestPrimeFallbacks:
     def test_object_trace_falls_back(self):
         program = build_workload("ocean", size="small")
@@ -167,6 +204,8 @@ def vary_dead_field(machine, name):
     if name == "directory":
         return machine.with_(directory=DirectoryConfig(
             limitless_pointers=2, overflow_trap_cycles=999))
+    if name == "tardis":
+        return machine.with_(tardis=TardisConfig(lease=3, timestamp_bits=6))
     raise AssertionError(f"no variant for dead field {name!r}")
 
 
@@ -198,7 +237,7 @@ class TestSchemeDeadConfig:
     def test_live_fields_still_split_fingerprints(self):
         program = build_workload("ocean", size="small")
         varied = vary_dead_field(MACHINE, "tpi")
-        assert dead_config_fields("tpi") == ("directory",)
+        assert dead_config_fields("tpi") == ("directory", "tardis")
         assert (Job(program=program, scheme="tpi", machine=MACHINE).fingerprint()
                 != Job(program=program, scheme="tpi",
                        machine=varied).fingerprint())

@@ -1,8 +1,10 @@
-"""Bounded-exhaustive TPI protocol verification (repro.analysis.modelcheck).
+"""Bounded-exhaustive protocol verification (repro.analysis.modelcheck
+and repro.analysis.modelcheck_tardis).
 
-Covers the verification claims end to end: the default config grid is
-clean and forces the counter wrap-arounds, the checker consults the
-*same* rule functions the production scheme executes, every seeded
+Covers the verification claims end to end for both checked protocols
+(TPI timetags and Tardis leases): the default config grids are clean and
+force the counter wrap-arounds / timestamp rebases, the checkers consult
+the *same* rule functions the production schemes execute, every seeded
 protocol bug yields a counterexample that the production implementation
 refutes (and, when production shares the bug, confirms), and the CLI /
 cache plumbing behaves like ``repro lint``'s.
@@ -24,8 +26,19 @@ from repro.analysis.modelcheck import (
     protocol_self_test,
     replay_counterexample,
 )
+from repro.analysis.modelcheck_tardis import (
+    TARDIS_DEFAULT_CONFIGS,
+    TARDIS_PRODUCTION_RULES,
+    TARDIS_SELF_TEST_CONFIGS,
+    TardisModelConfig,
+    replay_tardis_counterexample,
+    tardis_check_config,
+    tardis_modelcheck_report,
+    tardis_mutants,
+    tardis_self_test,
+)
 from repro.cli import main
-from repro.coherence import tpi_rules
+from repro.coherence import tardis_rules, tpi_rules
 from repro.common.errors import ConfigError
 from repro.runtime import ArtifactCache
 
@@ -273,3 +286,240 @@ class TestCli:
         capsys.readouterr()
         assert main(args) == 0
         assert "cache=hit" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- tardis
+
+
+TARDIS_SMALL = TardisModelConfig(n_procs=2, n_lines=1, line_words=1,
+                                 timestamp_bits=2, lease=1, max_ts=9)
+
+
+class TestTardisSharedRules:
+    """The verified logic must BE the production logic, not a copy."""
+
+    def test_production_rules_bind_the_shared_module(self):
+        assert TARDIS_PRODUCTION_RULES.lease_hit is tardis_rules.lease_hit
+        assert TARDIS_PRODUCTION_RULES.lease_grant is tardis_rules.lease_grant
+        assert TARDIS_PRODUCTION_RULES.own_lease is tardis_rules.own_lease
+        assert TARDIS_PRODUCTION_RULES.write_timestamp is \
+            tardis_rules.write_timestamp
+        assert TARDIS_PRODUCTION_RULES.pts_join is tardis_rules.pts_join
+        assert TARDIS_PRODUCTION_RULES.renewal_ok is tardis_rules.renewal_ok
+        assert TARDIS_PRODUCTION_RULES.write_renewal_ok is \
+            tardis_rules.renewal_ok
+        assert TARDIS_PRODUCTION_RULES.rebase_needed is \
+            tardis_rules.rebase_needed
+        assert TARDIS_PRODUCTION_RULES.rebase_base is tardis_rules.rebase_base
+        assert TARDIS_PRODUCTION_RULES.clamp is tardis_rules.clamp
+
+    def test_simulator_binds_the_same_module(self):
+        import repro.coherence.tardis as tardis
+
+        assert tardis.tardis_rules is tardis_rules
+
+
+class TestTardisDefaultGrid:
+    def test_grid_covers_the_issue_bounds(self):
+        assert any(c.n_procs >= 3 for c in TARDIS_DEFAULT_CONFIGS)
+        assert any(c.n_lines >= 2 for c in TARDIS_DEFAULT_CONFIGS)
+        assert any(c.line_words >= 2 for c in TARDIS_DEFAULT_CONFIGS)
+        assert {c.timestamp_bits for c in TARDIS_DEFAULT_CONFIGS} >= {2, 3}
+        assert all(c.n_procs >= 2 for c in TARDIS_DEFAULT_CONFIGS)
+
+    def test_smallest_config_is_exhaustive_and_clean(self):
+        result = tardis_check_config(TARDIS_SMALL)
+        assert result.ok
+        assert not result.truncated
+        assert result.violations == []
+        assert result.states > 1000
+        assert result.reads_checked > 0
+        assert result.max_rebases >= 2
+        assert "OK" in result.summary()
+
+    def test_k3_config_is_clean_and_rebases_twice(self):
+        for config in TARDIS_DEFAULT_CONFIGS:
+            if config.timestamp_bits == 3:
+                result = tardis_check_config(config)
+                assert result.ok, result.summary()
+                assert result.max_rebases >= 2
+
+    def test_bounds_are_validated(self):
+        with pytest.raises(ConfigError):
+            TardisModelConfig(n_procs=1)
+        with pytest.raises(ConfigError):
+            TardisModelConfig(timestamp_bits=5)
+        with pytest.raises(ConfigError):
+            TardisModelConfig(timestamp_bits=2, lease=2)
+        with pytest.raises(ConfigError):
+            TardisModelConfig(max_ts=0)
+
+    def test_state_cap_marks_truncation(self):
+        result = tardis_check_config(TARDIS_SMALL, max_states=50)
+        assert result.truncated
+        assert not result.ok
+
+
+class TestTardisMutationSelfTest:
+    """Acceptance gate: 100% of seeded protocol bugs must be caught."""
+
+    def test_every_seeded_bug_is_caught(self):
+        result = tardis_self_test(replay=False)
+        assert result.seeded == 4
+        assert result.detection_rate == 1.0, result.summary()
+        assert result.missed == []
+
+    def test_production_refutes_every_mutant_counterexample(self):
+        """The replay direction tests cannot fake: production does not
+        have the seeded bugs, so it must reject each mutant's trace."""
+        result = tardis_self_test(replay=True)
+        assert all(m.refuted_by_production for m in result.mutations), \
+            [(m.name, m.refuted_by_production) for m in result.mutations]
+
+    @pytest.mark.parametrize("mutant", tardis_mutants(),
+                             ids=lambda m: m.name)
+    def test_each_mutant_falls_on_the_self_test_grid(self, mutant):
+        for config in TARDIS_SELF_TEST_CONFIGS:
+            result = tardis_check_config(config, mutant)
+            if result.violations:
+                violation = result.violations[0]
+                rendered = "\n".join(violation.render())
+                assert "staleness-safety violation" in rendered
+                assert violation.version < violation.floor
+                assert violation.served in ("hit", "renewal")
+                return
+        pytest.fail(f"mutant {mutant.name} produced no counterexample")
+
+
+def _lease_off_by_one(pts, rts):
+    return rts + 1 >= pts
+
+
+class TestTardisProductionReplay:
+    def test_replay_confirms_when_production_shares_the_bug(self, monkeypatch):
+        """Completeness cross-check: seed the same bug into the model AND
+        the production scheme; the replay must now confirm the trace."""
+        monkeypatch.setattr(tardis_rules, "lease_hit", _lease_off_by_one)
+        mutant = replace(TARDIS_PRODUCTION_RULES, name="lease-off-by-one",
+                         lease_hit=_lease_off_by_one)
+        result = tardis_check_config(TARDIS_SELF_TEST_CONFIGS[0], mutant)
+        assert result.violations
+        outcome = replay_tardis_counterexample(result.violations[0])
+        assert outcome.confirmed, outcome
+        assert "stale read" in outcome.detail
+
+    def test_divergence_raises_mc102(self, monkeypatch):
+        """A counterexample against the production *rules* that production
+        itself refutes means the abstract model drifted: MC102."""
+        import repro.analysis.modelcheck_tardis as mct
+
+        mutant = replace(TARDIS_PRODUCTION_RULES, name="production",
+                         lease_hit=_lease_off_by_one)
+        monkeypatch.setattr(mct, "TARDIS_PRODUCTION_RULES", mutant)
+        report = mct.tardis_modelcheck_report(
+            [TARDIS_SELF_TEST_CONFIGS[0]], rules=mutant, max_violations=1)
+        rule_ids = {d.rule_id for d in report.diagnostics}
+        assert "MC101" in rule_ids
+        assert "MC102" in rule_ids
+        assert report.exit_code() == 1
+
+
+class TestTardisReportAndCache:
+    def test_clean_report_exits_zero(self):
+        report = tardis_modelcheck_report([TARDIS_SMALL], cache=None)
+        assert report.tool == "modelcheck"
+        assert report.exit_code() == 0
+        assert report.meta["rebases"] >= 2
+        assert report.meta["states"] > 0
+        payload = report.to_dict()
+        assert payload["counts"]["error"] == 0
+
+    def test_under_two_rebases_warns_mc103(self):
+        shallow = TardisModelConfig(n_procs=2, n_lines=1, line_words=1,
+                                    timestamp_bits=2, lease=1, max_ts=3)
+        report = tardis_modelcheck_report([shallow], cache=None)
+        assert [d.rule_id for d in report.diagnostics] == ["MC103"]
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_truncation_warns_mc104(self):
+        report = tardis_modelcheck_report([TARDIS_SMALL], max_states=50,
+                                          cache=None)
+        assert "MC104" in {d.rule_id for d in report.diagnostics}
+
+    def test_mc_rules_are_catalogued(self):
+        assert RULES["MC101"].severity is Severity.ERROR
+        assert RULES["MC102"].severity is Severity.ERROR
+        assert RULES["MC103"].severity is Severity.WARNING
+        assert RULES["MC104"].severity is Severity.WARNING
+
+    def test_warm_repeat_hits_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cold = tardis_modelcheck_report([TARDIS_SMALL], cache=cache)
+        assert cold.meta["cache"] == "miss"
+        warm = tardis_modelcheck_report([TARDIS_SMALL], cache=cache)
+        assert warm.meta["cache"] == "hit"
+        assert warm.to_dict()["counts"] == cold.to_dict()["counts"]
+        assert cache.stats().entries.get("modelcheck") == 1
+
+    def test_cache_key_depends_on_bounds_and_scheme(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        tardis_modelcheck_report([TARDIS_SMALL], cache=cache)
+        other = tardis_modelcheck_report(
+            [replace(TARDIS_SMALL, max_ts=8)], cache=cache)
+        assert other.meta["cache"] == "miss"
+        modelcheck_report([SMALL], cache=cache)
+        assert cache.stats().entries.get("modelcheck") == 3
+
+    def test_mutant_reports_are_never_cached(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        mutant = tardis_mutants()[0]
+        tardis_modelcheck_report([TARDIS_SMALL], rules=mutant, cache=cache)
+        assert cache.stats().entries.get("modelcheck", 0) == 0
+
+
+class TestTardisCli:
+    ARGS = ["modelcheck", "--scheme", "tardis", "--procs", "2", "--lines",
+            "1", "--words", "1", "--k", "2", "--max-ts", "9", "--no-cache"]
+
+    def test_explicit_bounds_exit_zero(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "modelcheck tardis-protocol: 0 error(s)" in out
+        assert "p2.l1.w1.k2.s1.t9" in out
+
+    def test_bad_bounds_one_line_exit_2(self, capsys):
+        assert main(["modelcheck", "--scheme", "tardis", "--max-ts", "99",
+                     "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_scheme_flag_mismatch_exit_2(self, capsys):
+        assert main(["modelcheck", "--lease", "2", "--no-cache"]) == 2
+        assert "tardis only" in capsys.readouterr().err
+        assert main(["modelcheck", "--scheme", "tardis", "--epochs", "6",
+                     "--no-cache"]) == 2
+        assert "tpi only" in capsys.readouterr().err
+
+    def test_self_test_flag(self, capsys):
+        assert main([*self.ARGS, "--self-test", "--no-replay"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 seeded protocol bugs" in out
+        assert "MISSED" not in out
+
+    def test_shallow_bounds_warn_but_exit_zero(self, capsys):
+        args = ["modelcheck", "--scheme", "tardis", "--procs", "2",
+                "--lines", "1", "--words", "1", "--k", "2", "--max-ts", "3",
+                "--no-cache"]
+        assert main(args) == 0
+        assert "MC103" in capsys.readouterr().out
+        assert main([*args, "--strict"]) == 1
+
+    def test_json_report_written(self, tmp_path, capsys):
+        path = tmp_path / "mc.json"
+        assert main([*self.ARGS, "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["tool"] == "modelcheck"
+        assert payload["counts"]["error"] == 0
+        assert payload["meta"]["rebases"] >= 2

@@ -23,6 +23,9 @@ EXPECTED_KEYS = {
     "limitless": {"invalidations_sent", "false_invalidations",
                   "software_traps"},
     "update": {"updates_sent", "buffered_writes"},
+    "tardis": {"lease_renewals", "lease_expiries", "rebases"},
+    "snoop": {"invalidations_sent", "false_invalidations",
+              "cache_to_cache_transfers"},
 }
 
 
@@ -60,3 +63,16 @@ class TestExtrasContract:
         assert result.extra["invalidations_sent"] > 0
         assert (result.extra["false_invalidations"]
                 <= result.extra["invalidations_sent"])
+
+    def test_tardis_counts_lease_traffic(self, run):
+        result = simulate(run, "tardis")
+        assert result.extra["lease_expiries"] > 0
+        assert (result.extra["lease_renewals"]
+                <= result.extra["lease_expiries"])
+
+    def test_snoop_counts_bus_transactions(self, run):
+        result = simulate(run, "snoop")
+        assert result.extra["invalidations_sent"] > 0
+        assert (result.extra["false_invalidations"]
+                <= result.extra["invalidations_sent"])
+        assert result.extra["cache_to_cache_transfers"] > 0
