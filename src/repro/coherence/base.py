@@ -8,14 +8,11 @@ scheme must beat.
 
 from __future__ import annotations
 
-from typing import List
-
-import numpy as np
-
 from repro.coherence.api import AccessResult, CoherenceScheme, SimContext
 from repro.common.config import ConsistencyModel
 from repro.common.stats import MissKind
 from repro.memsys.cache import Cache
+from repro.memsys.lazystate import LazyList, TouchBitmap
 
 
 class BaseScheme(CoherenceScheme):
@@ -35,11 +32,10 @@ class BaseScheme(CoherenceScheme):
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)
         machine = self.machine
-        self.caches: List[Cache] = [Cache(machine.cache)
-                                    for _ in range(machine.n_procs)]
+        self.caches: LazyList = LazyList(machine.n_procs,
+                                         lambda _p: Cache(machine.cache))
         self.line_words = machine.cache.line_words
-        self.touched = np.zeros((machine.n_procs, ctx.shadow.total_words),
-                                dtype=bool)
+        self.touched = TouchBitmap(machine.n_procs, ctx.shadow.total_words)
 
     def read(self, proc: int, addr: int, site: int, shared: bool,
              in_critical: bool) -> AccessResult:

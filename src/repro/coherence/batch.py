@@ -56,6 +56,7 @@ import numpy as np
 
 from repro.coherence.api import AccessResult
 from repro.coherence.directory import _REASON_FALSE, _REASON_TRUE
+from repro.coherence.sparse import STATE_E
 from repro.coherence.tpi_rules import time_read_window, word_age
 from repro.common.config import ConsistencyModel, WriteBufferKind
 from repro.common.errors import ProtocolError
@@ -250,6 +251,40 @@ class _Cols:
         return c
 
 
+class _LazyViews:
+    """Per-processor numpy views over a :class:`LazyList` of backing
+    objects, created on first access.
+
+    Materializing a view materializes the backing object (a Cache or
+    timestamp array), so at ``n_procs`` in the thousands a kernel only
+    ever touches the processors its windows actually contain.  Views are
+    real numpy views — writes through them land in the backing arrays —
+    and :meth:`materialized` walks the *backing* list's materialized
+    processors (not just the viewed ones), so holder scans can never
+    miss a cache that was built on the exact path.
+    """
+
+    __slots__ = ("_backing", "_extract", "_views")
+
+    def __init__(self, backing, extract):
+        self._backing = backing
+        self._extract = extract
+        self._views = {}
+
+    def __len__(self) -> int:
+        return len(self._backing)
+
+    def __getitem__(self, proc: int):
+        view = self._views.get(proc)
+        if view is None:
+            view = self._views[proc] = self._extract(self._backing[proc])
+        return view
+
+    def materialized(self):
+        return [(proc, self[proc])
+                for proc, _item in self._backing.materialized()]
+
+
 class _BatchKernel:
     """Shared plumbing: live cache views, window loops, accounting."""
 
@@ -261,12 +296,12 @@ class _BatchKernel:
         caches = scheme.caches
         # Direct-mapped views: way dimension dropped, so a probe is one
         # gather and all scatters are 1-D/2-D fancy indexing.
-        self.tags = [c.tags[:, 0] for c in caches]
-        self.wv = [c.word_valid[:, 0, :] for c in caches]
-        self.cver = [c.version[:, 0, :] for c in caches]
-        self.used = [c.used[:, 0, :] for c in caches]
-        self.tt = [c.timetag[:, 0, :] for c in caches]
-        self.dirty = [c.dirty[:, 0] for c in caches]
+        self.tags = _LazyViews(caches, lambda c: c.tags[:, 0])
+        self.wv = _LazyViews(caches, lambda c: c.word_valid[:, 0, :])
+        self.cver = _LazyViews(caches, lambda c: c.version[:, 0, :])
+        self.used = _LazyViews(caches, lambda c: c.used[:, 0, :])
+        self.tt = _LazyViews(caches, lambda c: c.timetag[:, 0, :])
+        self.dirty = _LazyViews(caches, lambda c: c.dirty[:, 0])
         self.check = self.machine.check_coherence
         self.hit_lat = self.machine.hit_latency
         self.line_words = self.machine.cache.line_words
@@ -370,7 +405,7 @@ class _BatchKernel:
         parts = cols.parts
         if len(parts) == 1:
             return arrs[parts[0][0]][cols.s]
-        out = np.empty(cols.n, dtype=arrs[0].dtype)
+        out = np.empty(cols.n, dtype=arrs[parts[0][0]].dtype)
         for p, lo, hi in parts:
             out[lo:hi] = arrs[p][cols.s[lo:hi]]
         return out
@@ -380,7 +415,7 @@ class _BatchKernel:
         parts = cols.parts
         if len(parts) == 1:
             return arrs[parts[0][0]][cols.s, cols.wd]
-        out = np.empty(cols.n, dtype=arrs[0].dtype)
+        out = np.empty(cols.n, dtype=arrs[parts[0][0]].dtype)
         for p, lo, hi in parts:
             out[lo:hi] = arrs[p][cols.s[lo:hi], cols.wd[lo:hi]]
         return out
@@ -390,7 +425,7 @@ class _BatchKernel:
         parts = cols.parts
         if len(parts) == 1:
             return arrs[parts[0][0]][cols.s, 0]
-        out = np.empty(cols.n, dtype=arrs[0].dtype)
+        out = np.empty(cols.n, dtype=arrs[parts[0][0]].dtype)
         for p, lo, hi in parts:
             out[lo:hi] = arrs[p][cols.s[lo:hi], 0]
         return out
@@ -483,8 +518,7 @@ class _BatchKernel:
     def _bump_shadow(self, addrs: np.ndarray, proc) -> None:
         """``proc`` may be a scalar or a per-event vector (merged windows;
         duplicate addresses resolve last-wins, matching execution order)."""
-        np.add.at(self.shadow.version, addrs, 1)
-        self.shadow.last_writer[addrs] = proc
+        self.shadow.write_many(addrs, proc)
 
     def _install_lines(self, proc: int, sets: np.ndarray,
                        lines: np.ndarray) -> None:
@@ -1118,58 +1152,18 @@ class DirectoryBatchKernel(_FullBatchKernel):
     (invalidations, owner demotions) commute with everything batched.  In
     an unpoisoned set all events address one line, so the set's first
     event is its only possible miss and the pre-window occupant/dirty
-    gathers are exact at miss time.  The directory dict is mirrored into
-    flat state/owner arrays so the E-self test is a gather; the mirror is
-    refreshed after loop events and rebuilt after fallback epochs."""
+    gathers are exact at miss time.  The E-self test gathers the scheme's
+    :class:`~repro.coherence.sparse.DirectoryStore` columns directly —
+    every protocol mutation writes through the :class:`DirEntry` proxies
+    into those columns, so there is no mirror to rebuild or resync."""
 
     def __init__(self, scheme):
         super().__init__(scheme)
-        n_lines = -(-self.shadow.total_words // self.line_words)
-        self.dir_state = np.zeros(n_lines, dtype=np.int8)  # 0 U/absent, 1 S, 2 E
-        self.dir_owner = np.full(n_lines, -1, dtype=np.int32)
         self.ctrl_lat = 0
-        self.resync()
-
-    _STATE_CODE = {"U": 0, "S": 1, "E": 2}
 
     def begin_epoch(self) -> None:
         super().begin_epoch()
         self.ctrl_lat = self.network.control_latency()
-        if self._mirror_stale:
-            self._rebuild_mirror()
-
-    def resync(self) -> None:
-        # The mirror is only read inside batched epochs, so consecutive
-        # fallback epochs coalesce into one rebuild at the next
-        # ``begin_epoch``.
-        self._mirror_stale = True
-
-    def _rebuild_mirror(self) -> None:
-        self.dir_state[:] = 0
-        self.dir_owner[:] = -1
-        for line, entry in self.scheme.directory.items():
-            self.dir_state[line] = self._STATE_CODE[entry.state]
-            self.dir_owner[line] = entry.owner
-        self._mirror_stale = False
-
-    def _refresh_line(self, line: int) -> None:
-        entry = self.scheme.directory.get(line)
-        if entry is None:
-            self.dir_state[line] = 0
-            self.dir_owner[line] = -1
-        else:
-            self.dir_state[line] = self._STATE_CODE[entry.state]
-            self.dir_owner[line] = entry.owner
-
-    def boundary(self, eng, proc, ta, i):
-        s = int(ta.set_[i])
-        line = int(ta.line[i])
-        previous = int(self.tags[proc][s])
-        latency = eng._exec_event(proc, ta.events[i])
-        self._refresh_line(line)
-        if previous >= 0 and previous != line:
-            self._refresh_line(previous)  # evicted occupant's entry moved
-        return latency
 
     def _scan(self, cols):
         s, line, wd = cols.s, cols.line, cols.wd
@@ -1181,8 +1175,9 @@ class DirectoryBatchKernel(_FullBatchKernel):
         miss = ~resident
         # Any earlier shared write to the line left it write-exclusive to
         # us (write miss and upgrade both end in E/self; E-self hits stay).
-        e_self = ((self.dir_state[line] == 2)
-                  & (self.dir_owner[line] == cols.procv)
+        store = self.scheme.dirstore
+        e_self = ((store.state_code[line] == STATE_E)
+                  & (store.owner_p1[line] == cols.procv + 1)
                   ) | ch.prior_any(wr & sh)
         upgrade = wr & sh & resident & ~e_self
 
@@ -1274,7 +1269,6 @@ class DirectoryBatchKernel(_FullBatchKernel):
         hit_lat = self.hit_lat
         elapsed = 0
         rw = wwt = cw = 0
-        touched_lines = set()
         wr, sh, line, wd = cols.wr, cols.sh, cols.line, cols.wd
         occ0, dirty0, upgrade = c["occ0"], c["dirty0"], c["upgrade"]
         for proc, idx in self._parts_idx(cols, slow):
@@ -1284,7 +1278,6 @@ class DirectoryBatchKernel(_FullBatchKernel):
                 ln = int(line[i])
                 word = int(wd[i])
                 shd = bool(sh[i])
-                touched_lines.add(ln)
                 if upgrade[i]:
                     inval = scheme._invalidate_sharers(ln, word, skip=proc)
                     cw += inval.coherence_words + 2  # upgrade round trip
@@ -1306,8 +1299,6 @@ class DirectoryBatchKernel(_FullBatchKernel):
                 # A miss: evict the pre-window occupant, fetch the line.
                 res = AccessResult(latency=0, kind=MissKind.HIT)
                 evicted = int(occ0[i]) if occ0[i] >= 0 else None
-                if evicted is not None:
-                    touched_lines.add(evicted)
                 scheme._evict(cache, proc, evicted, bool(dirty0[i]), res)
                 rw += res.read_words + 1 + lw  # the fill
                 wwt += res.write_words
@@ -1396,8 +1387,6 @@ class DirectoryBatchKernel(_FullBatchKernel):
                     elapsed += lat
         self._traffic(eng, read_words=rw, write_words=wwt,
                       coherence_words=cw)
-        for ln in touched_lines:
-            self._refresh_line(ln)
         return elapsed
 
 
@@ -1551,7 +1540,7 @@ class TardisBatchKernel(_FullBatchKernel):
 
     def __init__(self, scheme):
         super().__init__(scheme)
-        self.rts = [a[:, 0] for a in scheme.rts_a]
+        self.rts = _LazyViews(scheme.rts_a, lambda a: a[:, 0])
 
     def preapply(self, eng, pieces, cols: Optional[_Cols] = None) -> bool:
         # ``pts`` is epoch-global: a *hot* shared write advances it
@@ -1641,9 +1630,10 @@ class SnoopBatchKernel(_FullBatchKernel):
     """
 
     def _holders(self, si: int, ln: int, skip: int):
-        tags = self.tags
-        return [q for q in range(len(tags))
-                if q != skip and tags[q][si] == ln]
+        # Only materialized caches can hold a copy; an untouched
+        # processor's cache is empty by construction.
+        return [q for q, tags_q in self.tags.materialized()
+                if q != skip and tags_q[si] == ln]
 
     def _scan(self, cols):
         s, line, wd = cols.s, cols.line, cols.wd

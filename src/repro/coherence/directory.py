@@ -18,26 +18,18 @@ transaction).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional
 
 from repro.coherence.api import AccessResult, CoherenceScheme, SimContext
+from repro.coherence.sparse import DirectoryStore, DirEntry, hot_exclusive_lines
 from repro.common.config import ConsistencyModel
 from repro.common.errors import ProtocolError
 from repro.common.stats import MissKind
 from repro.memsys.cache import Cache, CacheWay
+from repro.memsys.lazystate import LazyList
 
 _REASON_TRUE = 1
 _REASON_FALSE = 2
-
-
-@dataclass(slots=True)
-class DirEntry:
-    """Directory state of one memory line."""
-
-    state: str = "U"  # U (uncached), S (read-shared), E (write-exclusive)
-    sharers: Set[int] = field(default_factory=set)
-    owner: int = -1
 
 
 class FullMapDirectoryScheme(CoherenceScheme):
@@ -57,12 +49,7 @@ class FullMapDirectoryScheme(CoherenceScheme):
     def directory_hot_lines(self, lines):
         """Lines in state E are order-sensitive even read-read: the first
         reader pays the 4-hop owner forward and demotes the entry."""
-        out = []
-        for line_addr in lines:
-            entry = self.directory.get(int(line_addr))
-            if entry is not None and entry.state == "E":
-                out.append(int(line_addr))
-        return out
+        return hot_exclusive_lines(self.dirstore, lines)
 
     def make_batch_kernel(self):
         from repro.coherence.batch import DirectoryBatchKernel
@@ -72,12 +59,16 @@ class FullMapDirectoryScheme(CoherenceScheme):
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)
         machine = self.machine
-        self.caches: List[Cache] = [Cache(machine.cache)
-                                    for _ in range(machine.n_procs)]
+        self.caches: LazyList = LazyList(machine.n_procs,
+                                         lambda _p: Cache(machine.cache))
         self.directory: Dict[int, DirEntry] = {}
         self.line_words = machine.cache.line_words
-        self.seen_lines: List[Set[int]] = [set() for _ in range(machine.n_procs)]
-        self.inval_reason: List[Dict[int, int]] = [dict() for _ in range(machine.n_procs)]
+        n_lines = -(-ctx.shadow.total_words // self.line_words)
+        self.dirstore = DirectoryStore(n_lines,
+                                       machine.directory.limitless_pointers)
+        self.seen_lines: LazyList = LazyList(machine.n_procs, lambda _p: set())
+        self.inval_reason: LazyList = LazyList(machine.n_procs,
+                                               lambda _p: dict())
         self.invalidations_sent = 0
         self.false_invalidations = 0
 
@@ -86,7 +77,7 @@ class FullMapDirectoryScheme(CoherenceScheme):
     def _entry(self, line_addr: int) -> DirEntry:
         entry = self.directory.get(line_addr)
         if entry is None:
-            entry = DirEntry()
+            entry = DirEntry(self.dirstore, line_addr)
             self.directory[line_addr] = entry
         return entry
 
@@ -292,7 +283,7 @@ class FullMapDirectoryScheme(CoherenceScheme):
     def check_invariants(self) -> None:
         """Protocol invariants, callable from tests after any access mix."""
         for line_addr, entry in self.directory.items():
-            holders = {p for p, cache in enumerate(self.caches)
+            holders = {p for p, cache in self.caches.materialized()
                        if cache.probe(line_addr) is not None}
             if entry.state == "U" and holders:
                 raise ProtocolError(f"line {line_addr}: U but cached by {holders}")
@@ -305,7 +296,7 @@ class FullMapDirectoryScheme(CoherenceScheme):
                         f"line {line_addr}: E owned by {entry.owner} but "
                         f"cached by {holders}")
             dirty_holders = set()
-            for p, cache in enumerate(self.caches):
+            for p, cache in self.caches.materialized():
                 loc = cache.probe(line_addr)
                 if loc is not None and cache.dirty[loc.set_index, loc.way]:
                     dirty_holders.add(p)

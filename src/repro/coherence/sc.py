@@ -11,15 +11,14 @@ exactly the limitation the paper's comparison table records for it.
 
 from __future__ import annotations
 
-from typing import Dict, List
-
-import numpy as np
+from typing import Dict
 
 from repro.coherence.api import AccessResult, CoherenceScheme, SimContext
 from repro.common.config import ConsistencyModel
 from repro.common.stats import MissKind
 from repro.compiler.marking import RefMark
 from repro.memsys.cache import Cache
+from repro.memsys.lazystate import LazyList, PerProcWords, TouchBitmap
 from repro.memsys.wbuffer import make_write_buffer, wbuffer_extras
 
 
@@ -33,16 +32,18 @@ class SoftwareBypassScheme(CoherenceScheme):
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)
         machine = self.machine
-        self.caches: List[Cache] = [Cache(machine.cache)
-                                    for _ in range(machine.n_procs)]
-        self.wbuffers = [make_write_buffer(machine.write_buffer)
-                         for _ in range(machine.n_procs)]
+        self.caches: LazyList = LazyList(machine.n_procs,
+                                         lambda _p: Cache(machine.cache))
+        self.wbuffers = LazyList(
+            machine.n_procs,
+            lambda _p: make_write_buffer(machine.write_buffer))
         self.line_words = machine.cache.line_words
-        self.touched = np.zeros((machine.n_procs, ctx.shadow.total_words),
-                                dtype=bool)
+        self.touched = TouchBitmap(machine.n_procs, ctx.shadow.total_words)
 
     def end_epoch(self, write_key=None) -> Dict[int, int]:
-        return {proc: wb.drain() for proc, wb in enumerate(self.wbuffers)}
+        return PerProcWords(self.machine.n_procs,
+                            {proc: wb.drain()
+                             for proc, wb in self.wbuffers.materialized()})
 
     def release_fence(self, proc: int) -> AccessResult:
         words = self.wbuffers[proc].drain()
@@ -50,7 +51,7 @@ class SoftwareBypassScheme(CoherenceScheme):
                             kind=MissKind.HIT, write_words=words)
 
     def extras(self) -> Dict[str, int]:
-        return wbuffer_extras(self.wbuffers)
+        return wbuffer_extras(self.wbuffers.materialized_items())
 
     def make_batch_kernel(self):
         from repro.coherence.batch import ScBatchKernel

@@ -21,13 +21,14 @@ crossing like the directory's 4-hop forward.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.coherence.api import AccessResult, CoherenceScheme, SimContext
 from repro.common.config import ConsistencyModel
 from repro.common.errors import ProtocolError
 from repro.common.stats import MissKind
 from repro.memsys.cache import Cache, CacheWay
+from repro.memsys.lazystate import LazyList
 
 _REASON_TRUE = 1
 _REASON_FALSE = 2
@@ -65,12 +66,12 @@ class SnoopBusScheme(CoherenceScheme):
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)
         machine = self.machine
-        self.caches: List[Cache] = [Cache(machine.cache)
-                                    for _ in range(machine.n_procs)]
+        self.caches: LazyList = LazyList(machine.n_procs,
+                                         lambda _p: Cache(machine.cache))
         self.line_words = machine.cache.line_words
-        self.seen_lines: List[Set[int]] = [set() for _ in range(machine.n_procs)]
-        self.inval_reason: List[Dict[int, int]] = [dict()
-                                                   for _ in range(machine.n_procs)]
+        self.seen_lines: LazyList = LazyList(machine.n_procs, lambda _p: set())
+        self.inval_reason: LazyList = LazyList(machine.n_procs,
+                                               lambda _p: dict())
         self.invalidations_sent = 0
         self.false_invalidations = 0
         self.cache_to_cache_transfers = 0
@@ -79,11 +80,11 @@ class SnoopBusScheme(CoherenceScheme):
 
     def _holders(self, line_addr: int) -> List[int]:
         """Every processor whose snoop would assert "shared" for the line."""
-        return [proc for proc, cache in enumerate(self.caches)
+        return [proc for proc, cache in self.caches.materialized()
                 if cache.probe(line_addr) is not None]
 
     def _dirty_holder(self, line_addr: int) -> Optional[int]:
-        for proc, cache in enumerate(self.caches):
+        for proc, cache in self.caches.materialized():
             loc = cache.probe(line_addr)
             if loc is not None and cache.dirty[loc.set_index, loc.way]:
                 return proc
@@ -240,12 +241,12 @@ class SnoopBusScheme(CoherenceScheme):
     def check_invariants(self) -> None:
         """MSI invariants, callable from tests after any access mix."""
         lines = set()
-        for cache in self.caches:
+        for _proc, cache in self.caches.materialized():
             lines.update(int(tag) for tag in cache.tags.ravel() if tag != -1)
         for line_addr in lines:
             dirty_holders = []
             holders = []
-            for proc, cache in enumerate(self.caches):
+            for proc, cache in self.caches.materialized():
                 loc = cache.probe(line_addr)
                 if loc is None:
                     continue

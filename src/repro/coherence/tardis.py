@@ -37,7 +37,7 @@ kernel and the bounded-exhaustive model checker
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -47,6 +47,7 @@ from repro.common.config import ConsistencyModel
 from repro.common.errors import ProtocolError
 from repro.common.stats import MissKind
 from repro.memsys.cache import Cache, CacheWay
+from repro.memsys.lazystate import LazyList, SparseValues
 from repro.memsys.wbuffer import WRITE_MESSAGE_WORDS
 
 
@@ -77,20 +78,23 @@ class TardisScheme(CoherenceScheme):
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)
         machine = self.machine
-        self.caches: List[Cache] = [Cache(machine.cache)
-                                    for _ in range(machine.n_procs)]
+        self.caches: LazyList = LazyList(machine.n_procs,
+                                         lambda _p: Cache(machine.cache))
         self.line_words = machine.cache.line_words
         self.lease = machine.tardis.lease
         self.modulus = machine.tardis.modulus
-        self.seen_lines: List[Set[int]] = [set() for _ in range(machine.n_procs)]
+        self.seen_lines: LazyList = LazyList(machine.n_procs, lambda _p: set())
         # Per-processor program timestamps and per-line cached lease state,
         # parallel to the Cache arrays so the batched kernel gets views.
-        self.pts: List[int] = [0] * machine.n_procs
+        # A lease slot is only ever consulted for a *resident* line, and
+        # every fill overwrites the slot, so lazily materialized rows of
+        # zeros are indistinguishable from eager ones.
+        self.pts: SparseValues = SparseValues(machine.n_procs, 0)
         shape = (machine.cache.n_sets, machine.cache.associativity)
-        self.rts_a: List[np.ndarray] = [np.zeros(shape, dtype=np.int64)
-                                        for _ in range(machine.n_procs)]
-        self.wts_a: List[np.ndarray] = [np.zeros(shape, dtype=np.int64)
-                                        for _ in range(machine.n_procs)]
+        self.rts_a: LazyList = LazyList(
+            machine.n_procs, lambda _p: np.zeros(shape, dtype=np.int64))
+        self.wts_a: LazyList = LazyList(
+            machine.n_procs, lambda _p: np.zeros(shape, dtype=np.int64))
         # Home-node timestamps; absent means never leased / never written.
         self.mem_rts: Dict[int, int] = {}
         self.mem_wts: Dict[int, int] = {}
@@ -106,8 +110,8 @@ class TardisScheme(CoherenceScheme):
     # ---------------------------------------------------------------- epochs
 
     def end_epoch(self, write_key: Optional[int] = None) -> Dict[int, int]:
-        joined = tardis_rules.pts_join(self.pts)
-        self.pts = [joined] * self.machine.n_procs
+        joined = tardis_rules.pts_join(self.pts.distinct())
+        self.pts.fill(joined)
         if tardis_rules.rebase_needed(joined, self.lease, self.base,
                                       self.modulus):
             self._rebase(joined)
@@ -116,9 +120,10 @@ class TardisScheme(CoherenceScheme):
     def _rebase(self, pts: int) -> None:
         """Tardis 2.0 timestamp compression: clamp everything to a new base."""
         self.base = tardis_rules.rebase_base(pts, self.modulus)
-        for proc in range(self.machine.n_procs):
-            self.rts_a[proc][:] = tardis_rules.clamp(self.rts_a[proc], self.base)
-            self.wts_a[proc][:] = tardis_rules.clamp(self.wts_a[proc], self.base)
+        for _proc, rts in self.rts_a.materialized():
+            rts[:] = tardis_rules.clamp(rts, self.base)
+        for _proc, wts in self.wts_a.materialized():
+            wts[:] = tardis_rules.clamp(wts, self.base)
         self.mem_rts = {line: int(tardis_rules.clamp(ts, self.base))
                         for line, ts in self.mem_rts.items()}
         self.mem_wts = {line: int(tardis_rules.clamp(ts, self.base))
@@ -275,7 +280,7 @@ class TardisScheme(CoherenceScheme):
             if rts < wts:
                 raise ProtocolError(
                     f"line {line_addr}: mem_rts {rts} < mem_wts {wts}")
-        for proc, cache in enumerate(self.caches):
+        for proc, cache in self.caches.materialized():
             for line_addr in self.mem_wts:
                 loc = cache.probe(line_addr)
                 if loc is None:

@@ -51,7 +51,7 @@ whose copy was genuinely overwritten is a true-sharing miss.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -68,6 +68,13 @@ from repro.common.errors import SimulationError
 from repro.common.stats import MissKind
 from repro.compiler.marking import RefMark
 from repro.memsys.cache import Cache
+from repro.memsys.lazystate import (
+    LazyList,
+    PerProcWords,
+    TouchBitmap,
+    UniformStalls,
+    dense_state,
+)
 from repro.memsys.wbuffer import make_write_buffer, wbuffer_extras
 
 
@@ -83,18 +90,22 @@ class TpiScheme(CoherenceScheme):
         machine = self.machine
         if ctx.layout is None:
             raise SimulationError("TPI needs the memory layout (W registers)")
-        self.caches: List[Cache] = [Cache(machine.cache)
-                                    for _ in range(machine.n_procs)]
-        self.wbuffers = [make_write_buffer(machine.write_buffer)
-                         for _ in range(machine.n_procs)]
+        self.caches: LazyList = LazyList(machine.n_procs,
+                                         lambda _p: Cache(machine.cache))
+        self.wbuffers = LazyList(
+            machine.n_procs,
+            lambda _p: make_write_buffer(machine.write_buffer))
         self.epoch_index = 0  # unbounded; the k-bit counter is (this mod 2^k)
         self.modulus = machine.tpi.counter_modulus
         self.phase_size = machine.tpi.phase_size
         self.line_words = machine.cache.line_words
-        self.touched = np.zeros((machine.n_procs, ctx.shadow.total_words),
-                                dtype=bool)
+        self.touched = TouchBitmap(machine.n_procs, ctx.shadow.total_words)
         self.per_word_tags = machine.tpi.tag_per_word
         self.region_of, self.region_names = ctx.layout.shared_region_table()
+        if dense_state():
+            # The dense baseline materializes the word-address table the
+            # closed-form region lookup replaced.
+            self.region_of = self.region_of[np.arange(ctx.shadow.total_words)]
         # W register per shared array: epoch index of the last possibly-
         # writing epoch (compiler-emitted updates; saturating in hardware).
         self.w_regs = np.full(len(self.region_names), -(10 ** 9), dtype=np.int64)
@@ -117,10 +128,14 @@ class TpiScheme(CoherenceScheme):
             if bounds is not None:
                 lo, hi = bounds
                 self.resets += 1
-                for proc, cache in enumerate(self.caches):
+                # Every processor stalls for the sweep, but only caches
+                # holding words can invalidate any: the sweep itself walks
+                # materialized caches (an empty cache resets zero words).
+                for _proc, cache in self.caches.materialized():
                     self.reset_invalidations += cache.two_phase_reset(
                         lo, hi, self.modulus)
-                    stalls[proc] = self.machine.tpi.reset_stall_cycles
+                return UniformStalls(self.machine.n_procs,
+                                     self.machine.tpi.reset_stall_cycles)
         elif policy is TimetagResetPolicy.FLUSH:
             # The R-1 fill rule lets a tag lag its validation time by one
             # epoch, so a flush every 2^k epochs would leave a one-epoch
@@ -129,9 +144,10 @@ class TpiScheme(CoherenceScheme):
             # needs no such correction because it selects by tag value.
             if self.epoch_index % max(1, self.modulus - 1) == 0:
                 self.resets += 1
-                for proc, cache in enumerate(self.caches):
+                for _proc, cache in self.caches.materialized():
                     self.reset_invalidations += cache.flush_all_words()
-                    stalls[proc] = self.machine.tpi.reset_stall_cycles
+                return UniformStalls(self.machine.n_procs,
+                                     self.machine.tpi.reset_stall_cycles)
         return stalls
 
     def end_epoch(self, write_key: Optional[int] = None) -> Dict[int, int]:
@@ -142,7 +158,9 @@ class TpiScheme(CoherenceScheme):
         for array, racy in writes.items():
             region = self.region_names.index(array)
             self.w_regs[region] = w_register_update(self.epoch_index, racy)
-        return {proc: wb.drain() for proc, wb in enumerate(self.wbuffers)}
+        return PerProcWords(self.machine.n_procs,
+                            {proc: wb.drain()
+                             for proc, wb in self.wbuffers.materialized()})
 
     def release_fence(self, proc: int) -> AccessResult:
         words = self.wbuffers[proc].drain()
@@ -154,7 +172,7 @@ class TpiScheme(CoherenceScheme):
         out = {"time_reads": self.time_reads,
                "time_read_hits": self.time_read_hits,
                "strict_reads": self.strict_reads}
-        out.update(wbuffer_extras(self.wbuffers))
+        out.update(wbuffer_extras(self.wbuffers.materialized_items()))
         return out
 
     def make_batch_kernel(self):

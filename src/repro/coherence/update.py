@@ -26,7 +26,7 @@ version oracle checks the result continuously).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 
 from repro.coherence.api import AccessResult, CoherenceScheme, SimContext
@@ -34,6 +34,7 @@ from repro.common.config import ConsistencyModel, WriteBufferKind
 from repro.common.errors import ProtocolError
 from repro.common.stats import MissKind
 from repro.memsys.cache import Cache
+from repro.memsys.lazystate import LazyList, PerProcWords
 from repro.memsys.wbuffer import WRITE_MESSAGE_WORDS
 
 
@@ -61,14 +62,14 @@ class UpdateDirectoryScheme(CoherenceScheme):
     def __init__(self, ctx: SimContext):
         super().__init__(ctx)
         machine = self.machine
-        self.caches: List[Cache] = [Cache(machine.cache)
-                                    for _ in range(machine.n_procs)]
+        self.caches: LazyList = LazyList(machine.n_procs,
+                                         lambda _p: Cache(machine.cache))
         self.sharers: Dict[int, Set[int]] = {}  # line -> procs with a copy
         self.line_words = machine.cache.line_words
-        self.seen_lines: List[Set[int]] = [set() for _ in range(machine.n_procs)]
+        self.seen_lines: LazyList = LazyList(machine.n_procs, lambda _p: set())
         # Coalescing state: per processor, the words pending broadcast.
         self.coalescing = machine.write_buffer is WriteBufferKind.COALESCING
-        self.pending: List[Set[int]] = [set() for _ in range(machine.n_procs)]
+        self.pending: LazyList = LazyList(machine.n_procs, lambda _p: set())
         self.updates_sent = 0
         self.merged_writes = 0
         self.total_writes = 0
@@ -76,7 +77,9 @@ class UpdateDirectoryScheme(CoherenceScheme):
     # ---------------------------------------------------------------- epochs
 
     def end_epoch(self, write_key: Optional[int] = None) -> Dict[int, int]:
-        return {proc: self._drain(proc) for proc in range(self.machine.n_procs)}
+        drained = {proc: self._drain(proc)
+                   for proc, _pending in self.pending.materialized()}
+        return PerProcWords(self.machine.n_procs, drained)
 
     def release_fence(self, proc: int) -> AccessResult:
         words = self._drain(proc)

@@ -19,6 +19,29 @@ from repro.common.errors import ConfigError
 WORD_BYTES = 4
 """All addresses in the simulator are 32-bit-word addresses."""
 
+DEFAULT_MAX_PROCS = 65536
+"""Upper bound on ``MachineConfig.n_procs`` (the scaling study tops out at
+16384; the default cap leaves 4x headroom).  A typo like ``n_procs=10**9``
+would otherwise OOM allocating private-array address space long after
+configuration time; raise the cap explicitly with the ``REPRO_MAX_PROCS``
+environment variable when a larger machine is really intended."""
+
+
+def max_procs() -> int:
+    """The effective ``n_procs`` cap (``REPRO_MAX_PROCS`` overrides)."""
+    import os
+
+    raw = os.environ.get("REPRO_MAX_PROCS", "")
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_MAX_PROCS must be an integer, got {raw!r}") from None
+        if value > 0:
+            return value
+    return DEFAULT_MAX_PROCS
+
 
 class WriteBufferKind(enum.Enum):
     """Write-buffer organizations studied by the paper.
@@ -228,6 +251,11 @@ class MachineConfig:
     def __post_init__(self) -> None:
         if self.n_procs <= 0:
             raise ConfigError("processor count must be positive")
+        cap = max_procs()
+        if self.n_procs > cap:
+            raise ConfigError(
+                f"n_procs={self.n_procs} exceeds the cap of {cap}; set "
+                f"REPRO_MAX_PROCS to raise it")
         if self.hit_latency <= 0 or self.base_miss_latency <= 0:
             raise ConfigError("latencies must be positive")
         if not 0.0 <= self.network_smoothing <= 1.0:

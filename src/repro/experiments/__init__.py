@@ -54,6 +54,7 @@ EXPERIMENTS = {
     "fig21_cache": fig21_cache.run,
     "fig22_breakdown": fig22_breakdown.run,
     "fig23_scaling": fig23_scaling.run,
+    "fig23_scaling_x": fig23_scaling.run_extended,
     "fig24_timeline": fig24_timeline.run,
     "fig25_taggranularity": fig25_taggranularity.run,
     "cmp_coherence": cmp_coherence.run,

@@ -1,19 +1,29 @@
 """Analytic storage-overhead models (Figure 5 of the paper)."""
 
 from repro.overhead.storage import (
+    CURVE_SCHEMES,
     OverheadRow,
+    bits_per_memory_line,
+    figure5_curve,
     figure5_table,
     full_map_overhead,
+    limited_pointer_overhead,
     limitless_overhead,
     render_figure5,
+    tardis_overhead,
     tpi_overhead,
 )
 
 __all__ = [
+    "CURVE_SCHEMES",
     "OverheadRow",
+    "bits_per_memory_line",
+    "figure5_curve",
     "figure5_table",
     "full_map_overhead",
+    "limited_pointer_overhead",
     "limitless_overhead",
     "render_figure5",
+    "tardis_overhead",
     "tpi_overhead",
 ]

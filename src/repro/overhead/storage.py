@@ -21,8 +21,14 @@ only (TPI).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Sequence
+
+
+def _clog2(n: int) -> int:
+    """Bits needed to name one of ``n`` things (at least 1)."""
+    return max(1, math.ceil(math.log2(max(2, n))))
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,35 @@ def limitless_overhead(n_procs: int, cache_lines: int, memory_blocks: int,
     )
 
 
+def limited_pointer_overhead(n_procs: int, cache_lines: int,
+                             memory_blocks: int,
+                             pointers: int = 10) -> OverheadRow:
+    """Limited-pointer Dir_iB: i pointers of ``ceil(log2 P)`` bits each +
+    2 state bits per memory block; overflow falls back to broadcast, so
+    no software-extended state is charged.  Unlike the paper's printed
+    LimitLess formula this charges real pointer widths, which is what
+    makes the per-line cost grow as ``i * log2(P)`` instead of ``P``."""
+    return OverheadRow(
+        scheme=f"limited-pointer Dir_{pointers}B",
+        cache_sram_bits=2 * cache_lines * n_procs,
+        memory_dram_bits=(pointers * _clog2(n_procs) + 2)
+        * memory_blocks * n_procs,
+    )
+
+
+def tardis_overhead(n_procs: int, cache_lines: int, memory_blocks: int,
+                    ts_bits: int = 8) -> OverheadRow:
+    """Tardis: two logical timestamps (wts, rts) per cached line, and per
+    memory block two timestamps plus an owner id — no sharer list at all,
+    so the per-block cost grows as ``log2(P)``, not ``P``."""
+    return OverheadRow(
+        scheme="Tardis",
+        cache_sram_bits=2 * ts_bits * cache_lines * n_procs,
+        memory_dram_bits=(2 * ts_bits + _clog2(n_procs + 1))
+        * memory_blocks * n_procs,
+    )
+
+
 def tpi_overhead(n_procs: int, cache_lines: int, line_words: int,
                  timetag_bits: int = 8) -> OverheadRow:
     """TPI: a timetag per cache word; no memory-side state at all."""
@@ -105,6 +140,58 @@ def figure5_table(n_procs: int = 1024, cache_lines: int = 16 * 1024,
         limitless_overhead(n_procs, cache_lines, memory_blocks, pointers),
         tpi_overhead(n_procs, cache_lines, line_words, timetag_bits),
     ]
+
+
+#: Schemes on the fig5-style scaling curve, in legend order.
+CURVE_SCHEMES = ("full-map", "limited-pointer", "LimitLESS", "TPI", "Tardis")
+
+
+def bits_per_memory_line(scheme: str, n_procs: int,
+                         cache_lines: int = 16 * 1024,
+                         memory_blocks: int = 512 * 1024,
+                         line_words: int = 4, pointers: int = 10,
+                         timetag_bits: int = 8,
+                         ts_bits: int = 8) -> float:
+    """Total coherence-state bits per *memory line*, SRAM amortized.
+
+    The denominator is the machine's total memory lines (``M * P``); the
+    numerator is the scheme's total coherence state, cache-side SRAM
+    included so cache-only schemes (TPI) don't score a flat zero.  This
+    is the y-axis of the fig5-style scaling curve: full-map grows as
+    ``P``, limited-pointer/LimitLESS/Tardis as ``log2 P``, TPI stays
+    constant.
+    """
+    if scheme == "full-map":
+        row = full_map_overhead(n_procs, cache_lines, memory_blocks)
+    elif scheme == "limited-pointer":
+        row = limited_pointer_overhead(n_procs, cache_lines, memory_blocks,
+                                       pointers)
+    elif scheme == "LimitLESS":
+        row = limitless_overhead(n_procs, cache_lines, memory_blocks,
+                                 pointers)
+    elif scheme == "TPI":
+        row = tpi_overhead(n_procs, cache_lines, line_words, timetag_bits)
+    elif scheme == "Tardis":
+        row = tardis_overhead(n_procs, cache_lines, memory_blocks, ts_bits)
+    else:
+        raise KeyError(f"unknown curve scheme {scheme!r}; choose from "
+                       f"{CURVE_SCHEMES}")
+    return row.total_bits / (memory_blocks * n_procs)
+
+
+def figure5_curve(procs: Sequence[int] = (64, 256, 1024, 4096, 16384),
+                  **kwargs) -> List[Dict]:
+    """The fig5-style storage curve: bits per memory line vs P.
+
+    Returns one dict per processor count with a ``bits_per_line`` column
+    per scheme; keyword arguments are forwarded to
+    :func:`bits_per_memory_line` (operating point overrides).
+    """
+    return [{"n_procs": p,
+             "bits_per_line": {scheme: round(
+                 bits_per_memory_line(scheme, p, **kwargs), 4)
+                 for scheme in CURVE_SCHEMES}}
+            for p in procs]
 
 
 def render_figure5(rows: List[OverheadRow]) -> str:

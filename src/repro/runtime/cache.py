@@ -42,7 +42,7 @@ CACHE_VERSION = 2
 """On-disk layout version; bump when the directory structure or the
 pickled shape of a cached artifact class changes (v2: ``Report.tool``)."""
 
-ENGINE_SALT = "gang-v4"
+ENGINE_SALT = "procs-v5"
 """Simulation-semantics version; bump on any engine/compiler/trace change
 that can alter results, to invalidate previously cached artifacts."""
 

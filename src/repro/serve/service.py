@@ -176,7 +176,12 @@ class SimulationService:
         if not isinstance(procs, int) or procs < 1:
             raise ServeError(400, f"procs must be a positive integer, "
                                   f"got {procs!r}")
-        machine = default_machine().with_(n_procs=procs)
+        try:
+            machine = default_machine().with_(n_procs=procs)
+        except ReproError as exc:
+            # n_procs above the REPRO_MAX_PROCS cap is a client error, not
+            # a server fault: surface the one-line ConfigError as a 400.
+            raise ServeError(400, str(exc)) from None
         if engine:
             machine = machine.with_(engine=engine)
         jobs = jobs_for_schemes(program, schemes, machine)

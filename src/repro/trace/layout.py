@@ -10,6 +10,13 @@ property of the program, so one trace serves every back-end cache
 geometry a sweep simulates over it (the gang path in docs/PERF.md).
 Lines wider than the alignment may straddle array boundaries, exactly as
 they do on hardware.
+
+Private copies of one array are laid out back to back, so every copy's
+base is ``base0 + copy * stride`` with a fixed per-array stride.  The
+layout therefore stores one record per *array* and computes addresses in
+closed form — construction, pickling, and region lookups are O(arrays),
+not O(arrays x n_procs), which is what lets ``n_procs`` reach 16384
+without materializing a per-copy address map (see docs/PERF.md).
 """
 
 from __future__ import annotations
@@ -31,6 +38,41 @@ def _align_up(value: int, align: int) -> int:
     return (value + align - 1) // align * align
 
 
+class RegionTable:
+    """Closed-form word-address -> array-region lookup.
+
+    Replaces the dense O(total_words) table: allocation spans are disjoint
+    and sorted by base, so a searchsorted over per-array spans answers both
+    scalar and vectorized queries; addresses in alignment padding map to
+    -1 exactly as the dense table did.  Every per-processor copy of a
+    private array maps to the same region (offsets within a span reduce
+    modulo the copy stride).
+    """
+
+    __slots__ = ("names", "_starts", "_spans", "_strides", "_sizes")
+
+    def __init__(self, starts: np.ndarray, spans: np.ndarray,
+                 strides: np.ndarray, sizes: np.ndarray, names: List[str]):
+        self.names = names
+        self._starts = starts
+        self._spans = spans
+        self._strides = strides
+        self._sizes = sizes
+
+    def __getitem__(self, addr):
+        a = np.asarray(addr)
+        if not self._starts.size:
+            empty = np.full(a.shape, -1, dtype=np.int32)
+            return empty if a.ndim else -1
+        pos = np.searchsorted(self._starts, a, side="right") - 1
+        clipped = np.maximum(pos, 0)
+        off = a - self._starts[clipped]
+        inside = ((pos >= 0) & (off < self._spans[clipped])
+                  & (off % self._strides[clipped] < self._sizes[clipped]))
+        region = np.where(inside, clipped, -1).astype(np.int32)
+        return region if a.ndim else int(region)
+
+
 class MemoryLayout:
     """Assigns base word addresses to every (array, processor) instance."""
 
@@ -38,22 +80,26 @@ class MemoryLayout:
                  line_words: int = LAYOUT_ALIGN_WORDS):
         self.n_procs = n_procs
         self.line_words = line_words
-        self._bases: Dict[Tuple[str, int], int] = {}
         self._arrays: Dict[str, Array] = dict(program.arrays)
+        # name -> (base of copy 0, stride between copies, copy count)
+        self._specs: Dict[str, Tuple[int, int, int]] = {}
         cursor = 0
         for array in program.arrays.values():
             copies = 1 if array.sharing is Sharing.SHARED else n_procs
-            for copy in range(copies):
-                cursor = _align_up(cursor, line_words)
-                key = (array.name, 0 if array.sharing is Sharing.SHARED else copy)
-                self._bases[key] = cursor
-                cursor += array.size_words
+            base0 = _align_up(cursor, line_words)
+            stride = _align_up(array.size_words, line_words)
+            self._specs[array.name] = (base0, stride, copies)
+            cursor = base0 + (copies - 1) * stride + array.size_words
         self.total_words = _align_up(cursor, line_words)
 
     def base(self, array: str, proc: int = 0) -> int:
         arr = self._arrays[array]
-        key = (array, 0 if arr.sharing is Sharing.SHARED else proc)
-        return self._bases[key]
+        base0, stride, copies = self._specs[array]
+        if arr.sharing is Sharing.SHARED:
+            return base0
+        if not 0 <= proc < copies:
+            raise KeyError((array, proc))
+        return base0 + proc * stride
 
     def addr_of(self, array: str, indices: Tuple[int, ...], proc: int = 0) -> int:
         """Word address of ``array[indices]`` (row-major), bounds-checked.
@@ -75,8 +121,8 @@ class MemoryLayout:
         arr = self._arrays[array]
         return self.base(array, 0), arr.size_words
 
-    def shared_region_table(self) -> Tuple["np.ndarray", List[str]]:
-        """Word-address -> array-index table (for per-array state).
+    def shared_region_table(self) -> Tuple[RegionTable, List[str]]:
+        """Word-address -> array-index lookup (for per-array state).
 
         Returns ``(region_of, names)``: ``region_of[addr]`` is the index of
         the array containing the word, ``names[i]`` its name.  Private
@@ -84,20 +130,29 @@ class MemoryLayout:
         region — because under task migration their storage becomes
         cross-processor-visible and the TPI W registers must cover them.
         """
-        region_of = np.full(self.total_words, -1, dtype=np.int32)
         names: List[str] = []
-        index: Dict[str, int] = {}
-        for (name, _copy), base in self._bases.items():
+        starts: List[int] = []
+        spans: List[int] = []
+        strides: List[int] = []
+        sizes: List[int] = []
+        for name, (base0, stride, copies) in self._specs.items():
             array = self._arrays[name]
-            if name not in index:
-                index[name] = len(names)
-                names.append(name)
-            region_of[base:base + array.size_words] = index[name]
-        return region_of, names
+            names.append(name)
+            starts.append(base0)
+            spans.append((copies - 1) * stride + array.size_words)
+            strides.append(stride)
+            sizes.append(array.size_words)
+        table = RegionTable(np.asarray(starts, dtype=np.int64),
+                            np.asarray(spans, dtype=np.int64),
+                            np.asarray(strides, dtype=np.int64),
+                            np.asarray(sizes, dtype=np.int64), names)
+        return table, names
 
     def array_of_addr(self, addr: int) -> str:
-        """Reverse lookup for debugging (linear scan; not on hot paths)."""
-        for (name, copy), base in self._bases.items():
-            if base <= addr < base + self._arrays[name].size_words:
+        """Reverse lookup for debugging (closed-form; not on hot paths)."""
+        for name, (base0, stride, copies) in self._specs.items():
+            off = addr - base0
+            span = (copies - 1) * stride + self._arrays[name].size_words
+            if 0 <= off < span and off % stride < self._arrays[name].size_words:
                 return name
         raise SimulationError(f"address {addr} maps to no array")

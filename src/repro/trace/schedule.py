@@ -57,7 +57,11 @@ def schedule_iterations(iterations: Sequence[int], n_procs: int,
     if policy is SchedulePolicy.CHUNK:
         base, extra = divmod(n, n_procs)
         start = 0
-        for proc in range(n_procs):
+        # With fewer iterations than processors, base == 0 and only the
+        # first ``extra == n`` processors receive work: iterating past
+        # them would cost O(n_procs) per loop for nothing (and n_procs
+        # can be 4 orders of magnitude above n at scale).
+        for proc in range(min(n, n_procs)):
             size = base + (1 if proc < extra else 0)
             if size:
                 buckets[proc] = list(iterations[start:start + size])

@@ -18,7 +18,8 @@ class TestHarness:
             "fig14_exectime", "fig15_timetag", "fig16_linesize",
             "fig17_wbuffer", "fig18_migration", "fig19_consistency",
             "fig20_update", "fig21_cache", "fig22_breakdown",
-            "fig23_scaling", "fig24_timeline", "fig25_taggranularity",
+            "fig23_scaling", "fig23_scaling_x", "fig24_timeline",
+            "fig25_taggranularity",
             "cmp_coherence",
         }
         assert set(experiment_ids()) == expected
@@ -48,8 +49,12 @@ class TestHarness:
 class TestFastExperiments:
     def test_fig5(self):
         result = run_experiment("fig5_storage")
-        assert len(result.rows) == 3
+        assert len(result.rows) == 5  # paper's 3 + limited-pointer + Tardis
         assert result.cell("two-phase invalidation", "memory DRAM (GB)") == 0.0
+        # The simulated-scheme rows sit between TPI and full-map.
+        full = result.cell("full-map", "memory DRAM (GB)")
+        for scheme in ("limited-pointer Dir_10B", "Tardis"):
+            assert 0.0 < result.cell(scheme, "memory DRAM (GB)") < full
 
     def test_fig8(self):
         result = run_experiment("fig8_params")

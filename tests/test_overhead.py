@@ -63,3 +63,42 @@ class TestRendering:
     def test_pretty_none(self):
         row = tpi_overhead(1, 0, 4)
         assert row.pretty == "none"
+
+
+class TestScalingCurve:
+    def test_limited_pointer_charges_real_pointer_widths(self):
+        from repro.overhead import limited_pointer_overhead
+
+        p64 = limited_pointer_overhead(64, 1024, 4096, pointers=4)
+        p4096 = limited_pointer_overhead(4096, 1024, 4096, pointers=4)
+        # Per-block bits grow with log2(P): 4*6+2=26 at P=64, 4*12+2=50
+        # at P=4096.
+        assert p64.memory_dram_bits == 26 * 4096 * 64
+        assert p4096.memory_dram_bits == 50 * 4096 * 4096
+
+    def test_tardis_has_no_sharer_list(self):
+        from repro.overhead import tardis_overhead
+
+        row = tardis_overhead(1024, 1024, 4096, ts_bits=8)
+        # wts + rts + owner(log2(1025) -> 11 bits) per block.
+        assert row.memory_dram_bits == (16 + 11) * 4096 * 1024
+        assert row.cache_sram_bits == 16 * 1024 * 1024
+
+    def test_curve_growth_rates(self):
+        from repro.overhead import CURVE_SCHEMES, figure5_curve
+
+        curve = {point["n_procs"]: point["bits_per_line"]
+                 for point in figure5_curve(procs=(64, 1024, 16384))}
+        for point in curve.values():
+            assert set(point) == set(CURVE_SCHEMES)
+        # Full-map grows linearly in P, the pointer/timestamp schemes
+        # logarithmically, TPI not at all.
+        assert curve[16384]["full-map"] > 200 * curve[64]["full-map"]
+        for scheme in ("limited-pointer", "LimitLESS", "Tardis"):
+            assert curve[16384][scheme] < 4 * curve[64][scheme]
+        assert curve[16384]["TPI"] == curve[64]["TPI"]
+        # Ordering at scale: TPI < Tardis/limited-pointer < full-map.
+        at_scale = curve[16384]
+        assert at_scale["TPI"] < at_scale["Tardis"] < at_scale["full-map"]
+        assert at_scale["TPI"] < at_scale["limited-pointer"] \
+            < at_scale["full-map"]

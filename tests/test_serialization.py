@@ -53,4 +53,4 @@ class TestCliJson:
         assert main(["experiment", "fig5_storage", "--json", str(path)]) == 0
         data = json.loads(path.read_text())
         assert data["experiment"] == "fig5_storage"
-        assert len(data["rows"]) == 3
+        assert len(data["rows"]) == 5

@@ -145,6 +145,7 @@ class TestServiceValidation:
         ({"workload": "ocean", "schemes": ["bogus"]}, "unknown scheme"),
         ({"workload": "ocean", "engine": "warp"}, "unknown engine"),
         ({"workload": "ocean", "procs": -1}, "procs"),
+        ({"workload": "ocean", "procs": 10**9}, "REPRO_MAX_PROCS"),
         ([], "JSON object"),
     ])
     def test_simulate_rejections(self, tmp_path, body, fragment):
