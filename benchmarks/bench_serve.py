@@ -82,7 +82,8 @@ async def _drive(server, bodies, concurrency: int):
 
 def run_load(requests: int, seed: int = 1996, concurrency: int = 8) -> dict:
     """Warm-up pass over the grid, then the Zipfian steady-state mix."""
-    from repro.runtime import ShardedCache, percentile
+    from repro.common import percentile
+    from repro.runtime import ShardedCache
     from repro.serve import ServeConfig, ServeServer, SimulationService
 
     import tempfile

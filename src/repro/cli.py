@@ -75,6 +75,12 @@ def _add_runtime_args(sub: argparse.ArgumentParser) -> None:
                           "(default $REPRO_ENGINE or fast; gang shares "
                           "trace-static analyses across sweep variants; the "
                           "engines are bit-identical, see docs/PERF.md)")
+    sub.add_argument("--jit", nargs="?", const="on", metavar="MODE",
+                     help="compiled (numba) kernel tier on top of the fast/"
+                          "gang engines: on, off, or interp (default "
+                          "$REPRO_JIT or off; bare --jit means on; falls "
+                          "back cleanly when numba is absent — bit-identical "
+                          "either way, see docs/PERF.md)")
     sub.add_argument("--cache-dir", metavar="PATH",
                      help="artifact cache location (default ~/.cache/repro "
                           "or $REPRO_CACHE_DIR)")
@@ -115,6 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also write the result table(s) as JSON")
     exp.add_argument("--chart", metavar="COLUMN",
                      help="also print an ASCII bar chart of one column")
+    exp.add_argument("--plot", nargs="?", const="", metavar="PATH",
+                     help="fig5_storage only: write the scaling curve as "
+                          "SVG (default docs/fig5_storage.svg; matplotlib "
+                          "when installed, a built-in emitter otherwise)")
     _add_runtime_args(exp)
 
     swp = sub.add_parser("sweep", help="grid study over machine parameters")
@@ -230,23 +240,34 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _apply_engine(args) -> None:
-    """Validate ``--engine`` and export it to the runtime/workers.
+    """Validate ``--engine``/``--jit`` and export them to the runtime.
 
-    The env var is how the choice reaches machine configs built deep
-    inside experiments, and worker processes inherit it.  An unknown
-    name is a one-line usage error (exit 2), not a traceback.
+    The env vars are how the choices reach machine configs built deep
+    inside experiments, and worker processes inherit them.  An unknown
+    engine name, an unknown ``--jit`` mode, or a garbage pre-existing
+    ``$REPRO_JIT`` value is a one-line usage error (exit 2), not a
+    traceback.
     """
     import os
 
     choice = getattr(args, "engine", None)
-    if not choice:
-        return
-    from repro.sim.engine import ENGINE_NAMES
+    if choice:
+        from repro.sim.engine import ENGINE_NAMES
 
-    if choice not in ENGINE_NAMES:
-        raise ReproError(f"unknown engine {choice!r}; choose from "
-                         f"{', '.join(ENGINE_NAMES)} (see docs/PERF.md)")
-    os.environ["REPRO_ENGINE"] = choice
+        if choice not in ENGINE_NAMES:
+            raise ReproError(f"unknown engine {choice!r}; choose from "
+                             f"{', '.join(ENGINE_NAMES)} (see docs/PERF.md)")
+        os.environ["REPRO_ENGINE"] = choice
+    from repro.sim.jit import JIT_MODES, parse_jit_env
+
+    jit = getattr(args, "jit", None)
+    if jit is not None:
+        if jit not in JIT_MODES:
+            raise ReproError(f"unknown jit mode {jit!r}; choose from "
+                             f"{', '.join(JIT_MODES)} (see docs/PERF.md)")
+        os.environ["REPRO_JIT"] = jit
+    else:
+        parse_jit_env()  # reject a garbage $REPRO_JIT before doing any work
 
 
 def _runtime_from_args(args):
@@ -303,6 +324,9 @@ def _cmd_experiment(args) -> int:
     from repro.runtime import write_json
 
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
+    plot = getattr(args, "plot", None)
+    if plot is not None and "fig5_storage" not in targets:
+        raise ReproError("--plot is only supported for fig5_storage")
     jobs, cache, telemetry = _runtime_from_args(args)
     collected = []
     for experiment in targets:
@@ -314,6 +338,10 @@ def _cmd_experiment(args) -> int:
             print(result.render_bars(args.chart))
         print()
         collected.append(result.to_dict())
+    if plot is not None:
+        from repro.experiments import fig5_storage
+
+        print(f"wrote {fig5_storage.plot(plot or fig5_storage.DEFAULT_PLOT_PATH)}")
     if args.json:
         write_json(collected if len(collected) > 1 else collected[0],
                    args.json)

@@ -19,7 +19,7 @@ from repro.common.errors import (
     SimulationError,
     ValidationError,
 )
-from repro.common.stats import Counter, MissKind, TrafficClass
+from repro.common.stats import Counter, MissKind, TrafficClass, percentile
 
 __all__ = [
     "CacheConfig",
@@ -40,4 +40,5 @@ __all__ = [
     "ValidationError",
     "WriteBufferKind",
     "default_machine",
+    "percentile",
 ]

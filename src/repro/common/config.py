@@ -247,6 +247,14 @@ class MachineConfig:
     are differentially tested to be bit-identical, so this knob affects
     wall-clock only — it is therefore excluded from runtime job
     fingerprints."""
+    jit: str = "auto"
+    """Compiled (numba) kernel tier for the batched engines: ``"on"``
+    (compile the batch scan kernels, falling back cleanly when numba is
+    absent or the workload is unsupported), ``"off"``, ``"interp"`` (run
+    the very same kernel loops uncompiled — the differential-testing
+    tier), or ``"auto"`` (the ``REPRO_JIT`` environment variable, else
+    off).  Like ``engine``, the tier is differentially tested to be
+    bit-identical and is excluded from runtime job fingerprints."""
 
     def __post_init__(self) -> None:
         if self.n_procs <= 0:
@@ -263,6 +271,9 @@ class MachineConfig:
         if self.engine not in ("auto", "fast", "gang", "reference"):
             raise ConfigError(f"unknown engine {self.engine!r}; "
                               f"choose auto, fast, gang, or reference")
+        if self.jit not in ("auto", "on", "off", "interp"):
+            raise ConfigError(f"unknown jit tier {self.jit!r}; "
+                              f"choose auto, on, off, or interp")
 
     def with_(self, **changes) -> "MachineConfig":
         """Return a copy with the given fields replaced (sweep helper)."""

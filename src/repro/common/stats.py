@@ -5,6 +5,22 @@ from __future__ import annotations
 import enum
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import List
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a sample list.
+
+    The single implementation shared by the serve telemetry and the serve
+    benchmark harness, so both report identical latency quantiles.  Returns
+    0.0 for an empty sample.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
 
 
 class MissKind(enum.Enum):

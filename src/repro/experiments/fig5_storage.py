@@ -18,16 +18,20 @@ repo also simulates: a limited-pointer Dir_iB directory (real
 
 from __future__ import annotations
 
-from typing import Optional
+import math
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import MachineConfig
 from repro.experiments.common import ExperimentResult
-from repro.overhead.storage import (figure5_table, limited_pointer_overhead,
+from repro.overhead.storage import (CURVE_SCHEMES, figure5_curve,
+                                    figure5_table, limited_pointer_overhead,
                                     tardis_overhead)
 
 _P = 1024
 _CACHE_LINES = 16 * 1024
 _MEMORY_BLOCKS = 512 * 1024
+
+DEFAULT_PLOT_PATH = "docs/fig5_storage.svg"
 
 
 def run(machine: Optional[MachineConfig] = None,
@@ -55,3 +59,139 @@ def run(machine: Optional[MachineConfig] = None,
                     "growing as log2(P) per block.  The P-scaling curve of "
                     "these formulas is committed in BENCH_scale.json.")
     return result
+
+
+# ----------------------------------------------------------------- plotting
+
+#: Stroke colors for the SVG fallback (mirrors matplotlib's default cycle
+#: so the two renderers look alike).
+_COLORS = ("#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd")
+
+
+def plot(path: str = DEFAULT_PLOT_PATH,
+         procs: Optional[Sequence[int]] = None) -> str:
+    """Render the fig5 scaling curve (bits per memory line vs P) to SVG.
+
+    Uses matplotlib when it is importable; otherwise falls back to a
+    small built-in SVG emitter, so the plot path never requires an
+    optional dependency (the committed ``docs/fig5_storage.svg`` comes
+    from the fallback — it is plain text and diffs cleanly).
+    """
+    curve = figure5_curve(procs) if procs else figure5_curve()
+    try:
+        import matplotlib
+    except ImportError:
+        text = _svg_chart(curve)
+    else:
+        matplotlib.use("Agg")
+        text = _matplotlib_chart(curve)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path
+
+
+def _matplotlib_chart(curve: List[Dict]) -> str:
+    import io
+
+    import matplotlib.pyplot as plt
+
+    xs = [row["n_procs"] for row in curve]
+    fig, ax = plt.subplots(figsize=(6.4, 4.2))
+    for scheme, color in zip(CURVE_SCHEMES, _COLORS):
+        ax.plot(xs, [row["bits_per_line"][scheme] for row in curve],
+                marker="o", label=scheme, color=color)
+    ax.set_xscale("log", base=2)
+    ax.set_yscale("log")
+    ax.set_xticks(xs, [str(x) for x in xs])
+    ax.set_xlabel("processors")
+    ax.set_ylabel("directory bits per memory line")
+    ax.set_title("Figure 5 scaling: coherence state per memory line")
+    ax.legend()
+    ax.grid(True, which="both", alpha=0.3)
+    buf = io.StringIO()
+    fig.savefig(buf, format="svg")
+    plt.close(fig)
+    return buf.getvalue()
+
+
+def _svg_chart(curve: List[Dict], width: int = 640, height: int = 420) -> str:
+    """Dependency-free log-log line chart of the fig5 curve."""
+    left, right, top, bottom = 64, 150, 40, 50
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    xs = [row["n_procs"] for row in curve]
+    ys = [row["bits_per_line"][s] for row in curve for s in CURVE_SCHEMES]
+    x_lo, x_hi = math.log2(min(xs)), math.log2(max(xs))
+    y_lo = math.floor(math.log10(min(ys)))
+    y_hi = math.ceil(math.log10(max(ys)))
+
+    def px(p: float) -> float:
+        return left + plot_w * (math.log2(p) - x_lo) / (x_hi - x_lo or 1)
+
+    def py(bits: float) -> float:
+        return top + plot_h * (y_hi - math.log10(bits)) / (y_hi - y_lo or 1)
+
+    out = [f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+           f'height="{height}" viewBox="0 0 {width} {height}" '
+           f'font-family="sans-serif" font-size="12">',
+           f'<rect width="{width}" height="{height}" fill="white"/>',
+           f'<text x="{left + plot_w / 2:.1f}" y="20" text-anchor="middle" '
+           f'font-size="14">Figure 5 scaling: coherence state per memory '
+           f'line</text>']
+    for decade in range(y_lo, y_hi + 1):
+        y = py(10 ** decade)
+        out.append(f'<line x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" '
+                   f'y2="{y:.1f}" stroke="#ddd"/>')
+        out.append(f'<text x="{left - 6}" y="{y + 4:.1f}" '
+                   f'text-anchor="end">{10 ** decade:g}</text>')
+    for p in xs:
+        x = px(p)
+        out.append(f'<line x1="{x:.1f}" y1="{top}" x2="{x:.1f}" '
+                   f'y2="{top + plot_h}" stroke="#eee"/>')
+        out.append(f'<text x="{x:.1f}" y="{top + plot_h + 16}" '
+                   f'text-anchor="middle">{p}</text>')
+    out.append(f'<rect x="{left}" y="{top}" width="{plot_w}" '
+               f'height="{plot_h}" fill="none" stroke="#333"/>')
+    out.append(f'<text x="{left + plot_w / 2:.1f}" y="{height - 12}" '
+               f'text-anchor="middle">processors</text>')
+    out.append(f'<text x="16" y="{top + plot_h / 2:.1f}" '
+               f'text-anchor="middle" transform="rotate(-90 16 '
+               f'{top + plot_h / 2:.1f})">bits per memory line</text>')
+    for idx, (scheme, color) in enumerate(zip(CURVE_SCHEMES, _COLORS)):
+        points = " ".join(
+            f"{px(row['n_procs']):.1f},{py(row['bits_per_line'][scheme]):.1f}"
+            for row in curve)
+        out.append(f'<polyline points="{points}" fill="none" '
+                   f'stroke="{color}" stroke-width="2"/>')
+        for row in curve:
+            out.append(f'<circle cx="{px(row["n_procs"]):.1f}" '
+                       f'cy="{py(row["bits_per_line"][scheme]):.1f}" '
+                       f'r="3" fill="{color}"/>')
+        ly = top + 10 + 18 * idx
+        lx = left + plot_w + 12
+        out.append(f'<line x1="{lx}" y1="{ly}" x2="{lx + 22}" y2="{ly}" '
+                   f'stroke="{color}" stroke-width="2"/>')
+        out.append(f'<text x="{lx + 28}" y="{ly + 4}">{scheme}</text>')
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.experiments.fig5_storage [--plot [PATH]]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Figure 5 storage-overhead table and scaling plot")
+    parser.add_argument("--plot", nargs="?", const=DEFAULT_PLOT_PATH,
+                        metavar="PATH",
+                        help=f"write the scaling curve as SVG "
+                             f"(default {DEFAULT_PLOT_PATH})")
+    args = parser.parse_args(argv)
+    print(run().render())
+    if args.plot:
+        print(f"wrote {plot(args.plot)}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

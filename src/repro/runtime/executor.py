@@ -187,7 +187,8 @@ def _simulate_entries(prepared: PreparedRun,
             "label": entry.label, "scheme": entry.scheme,
             "fingerprint": entry.result_key[:12],
             "wall_s": wall, "source": "computed",
-            "engine": result.engine, "worker": os.getpid()})
+            "engine": result.engine, "jit": result.jit,
+            "worker": os.getpid()})
         out.append((entry.index, result))
     for entry in entries:
         if entry is reps[entry.result_key]:
@@ -198,7 +199,8 @@ def _simulate_entries(prepared: PreparedRun,
             "label": entry.label, "scheme": entry.scheme,
             "fingerprint": entry.result_key[:12],
             "wall_s": 0.0, "source": "shared",
-            "engine": result.engine, "worker": os.getpid()})
+            "engine": result.engine, "jit": result.jit,
+            "worker": os.getpid()})
         out.append((entry.index, result))
     return out
 

@@ -14,6 +14,10 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, IO, List, Union
 
+from repro.common.stats import percentile
+
+__all__ = ["JobRecord", "RunReport", "Telemetry", "percentile", "write_json"]
+
 
 def write_json(payload: Any, path: Union[str, os.PathLike, IO[str]]) -> None:
     """Shared JSON serializer for CLI outputs (``--json``, ``--report``)."""
@@ -31,16 +35,6 @@ SERVE_LATENCY_CAP = 4096
 percentiles track steady state rather than all of history)."""
 
 
-def percentile(values: List[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 100]) of a sample list."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(0, min(len(ordered) - 1,
-                      int(round(q / 100.0 * (len(ordered) - 1)))))
-    return ordered[rank]
-
-
 @dataclass
 class JobRecord:
     """Outcome of one job: where it ran, how long, and from which source."""
@@ -51,6 +45,7 @@ class JobRecord:
     wall_s: float = 0.0
     source: str = "computed"  # computed | cache | retried
     engine: str = ""  # which simulation engine produced the result
+    jit: str = ""  # compiled-tier provenance ("", "numba", "interp", "fallback:…")
     worker: int = 0  # pid of the executing process (parent pid if serial)
 
 
@@ -95,6 +90,9 @@ class Telemetry:
     serve_latency_s: List[float] = field(default_factory=list)
     """Recent per-request wall times (capped ring; see
     :data:`SERVE_LATENCY_CAP`) backing the ``/stats`` p50/p99."""
+    jit_fallbacks: Dict[str, int] = field(default_factory=dict)
+    """Count of jobs that requested the compiled tier but fell back,
+    keyed by fallback reason (``numba-missing``, ``no-kernel``, …)."""
 
     # ------------------------------------------------------------ recording
 
@@ -108,10 +106,13 @@ class Telemetry:
         for phase, seconds in stats.get("phases", {}).items():
             self.note_phase(phase, seconds)
         for record in stats.get("records", ()):
-            self.records.append(JobRecord(**record))
+            self.note_job(JobRecord(**record))
 
     def note_job(self, record: JobRecord) -> None:
         self.records.append(record)
+        if record.jit.startswith("fallback:"):
+            reason = record.jit.split(":", 1)[1]
+            self.jit_fallbacks[reason] = self.jit_fallbacks.get(reason, 0) + 1
 
     def note_request(self, latency_s: float, source: str) -> None:
         """Record one serve request (``source``: hit/coalesced/computed/
@@ -196,6 +197,8 @@ class RunReport:
             "phases": {phase: round(seconds, 6)
                        for phase, seconds in sorted(t.phase_s.items())},
             **({"serve": t.serve_section()} if t.serve_requests else {}),
+            **({"jit_fallbacks": dict(sorted(t.jit_fallbacks.items()))}
+               if t.jit_fallbacks else {}),
             "retries": t.retries,
             "worker_busy_s": {str(pid): round(busy, 6)
                               for pid, busy in sorted(t.worker_utilization().items())},
@@ -227,6 +230,10 @@ class RunReport:
                 f"({100 * serve['hit_rate']:.0f}%), "
                 f"p50 {serve['p50_ms']:.2f}ms p99 {serve['p99_ms']:.2f}ms, "
                 f"{serve['errors']} error(s)")
+        if t.jit_fallbacks:
+            lines.append("jit fallbacks: " + "  ".join(
+                f"{reason} x{count}"
+                for reason, count in sorted(t.jit_fallbacks.items())))
         if t.records:
             width = max(len(r.label) for r in t.records)
             lines.append(f"{'job'.ljust(width)}  {'source':>8}  {'wall':>8}  worker")

@@ -145,7 +145,7 @@ class SimulationService:
     # -------------------------------------------------------------- parsing
 
     def _parse_common(self, body: Dict[str, Any], default_schemes,
-                      default_size: str) -> Tuple[Any, List[str], str]:
+                      default_size: str) -> Tuple[Any, List[str], str, str]:
         if not isinstance(body, dict):
             raise ServeError(400, "request body must be a JSON object")
         workload = body.get("workload")
@@ -163,14 +163,26 @@ class SimulationService:
         if engine is not None and engine not in ENGINE_NAMES:
             raise ServeError(400, f"unknown engine {engine!r}; choose from "
                                   f"{', '.join(ENGINE_NAMES)}")
+        jit = body.get("jit")
+        if jit is not None:
+            # Accept JSON booleans (the common case) or an explicit mode
+            # string; anything else is a client error, same as a bad
+            # engine name or an over-cap procs count.
+            if jit is True:
+                jit = "on"
+            elif jit is False:
+                jit = "off"
+            if jit not in ("on", "off", "interp"):
+                raise ServeError(400, f"invalid jit flag {jit!r}; use true, "
+                                      f"false, or one of on, off, interp")
         try:
             program = build_workload(workload, size=size)
         except (ReproError, ValueError, KeyError) as exc:
             raise ServeError(400, str(exc)) from None
-        return program, schemes, engine
+        return program, schemes, engine, jit
 
     def parse_simulate(self, body: Dict[str, Any]) -> _Parsed:
-        program, schemes, engine = self._parse_common(
+        program, schemes, engine, jit = self._parse_common(
             body, ("base", "sc", "tpi", "hw"), "default")
         procs = body.get("procs", 16)
         if not isinstance(procs, int) or procs < 1:
@@ -184,11 +196,13 @@ class SimulationService:
             raise ServeError(400, str(exc)) from None
         if engine:
             machine = machine.with_(engine=engine)
+        if jit:
+            machine = machine.with_(jit=jit)
         jobs = jobs_for_schemes(program, schemes, machine)
         return _Parsed(kind="simulate", jobs=jobs, schemes=tuple(schemes))
 
     def parse_sweep(self, body: Dict[str, Any]) -> _Parsed:
-        program, schemes, engine = self._parse_common(
+        program, schemes, engine, jit = self._parse_common(
             body, ("tpi", "hw"), "small")
         axes = body.get("axes")
         if not axes or not isinstance(axes, list):
@@ -197,6 +211,8 @@ class SimulationService:
         base = default_machine()
         if engine:
             base = base.with_(engine=engine)
+        if jit:
+            base = base.with_(jit=jit)
         try:
             sweep = sweep_from_specs(program, [str(a) for a in axes],
                                      schemes=schemes, base=base)

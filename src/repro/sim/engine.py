@@ -95,6 +95,7 @@ class Engine:
         self.result.epochs = len(self.trace.epochs)
         self.result.final_network_load = self.network.rho
         self.result.engine = self.engine_name
+        self.result.jit = getattr(self, "jit_state", "")
         self._collect_scheme_extras()
         return self.result
 

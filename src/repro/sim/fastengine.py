@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.coherence.batch import _Cols
 from repro.common.errors import SimulationError
+from repro.sim import jit
 from repro.sim.engine import Engine, _LockState
 from repro.sim.metrics import EpochRecord
 from repro.trace.columnar import KIND_WRITE, ColumnarEpoch
@@ -207,6 +208,7 @@ class FastEngine(Engine):
     def __init__(self, trace, marking, machine, scheme_name):
         super().__init__(trace, marking, machine, scheme_name)
         self._kernel = self.scheme.make_batch_kernel()
+        self.jit_state = jit.attach(self)
         self._epoch_words = 0
         self._plan_key = "none"
         self._cur_batch = None

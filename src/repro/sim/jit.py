@@ -1,0 +1,790 @@
+"""Optional compiled (numba) tier for the batch scan kernels.
+
+The fast engine's remaining wall time sits in the *scan* stage of the
+batch kernels (:mod:`repro.coherence.batch`): per window, two stable
+argsorts build the set/address chains and a dozen-plus full-window numpy
+passes evaluate the closed-form hit/miss/staleness formulas.  Every one
+of those formulas only ever asks "did some earlier event in my set (or
+address) group satisfy X?" — questions a single forward walk over the
+window answers with O(1) scratch per set/address group.  This module
+rewrites each kernel's ``_scan`` as exactly that walk, in plain Python
+that numba can compile with ``@njit(cache=True)``, over the very same
+flat columns (zero-copy from :class:`~repro.trace.columnar
+.ColumnarTrace` slices; no new data layout).
+
+**Byte-identical by construction.**  A kernel's ``_scan`` is pure: it
+reads protocol state and returns ``(ok, ctx)``; all mutation happens in
+``_apply``, which consumes only ``(ok, ctx)``.  The loops below compute
+the *same definitions* the numpy passes compute (including the TPI
+two-pass stamping fixed point, replayed literally: ``stamped`` uses the
+pass-1.5 ``hit_ns`` approximation, not the final ``hit``), so the
+``(ok, ctx)`` arrays are bit-equal and the unchanged ``_apply`` yields
+bit-equal results.  tests/test_engine_parity.py enforces this
+differentially against both the reference and fast engines.
+
+**Tier selection** mirrors the engine knob: ``REPRO_JIT=1`` (or
+``MachineConfig.jit``/``--jit``) opts in on top of ``--engine
+fast|gang``.  Three modes:
+
+* ``on`` — compile the loops with numba.  Falls back *wholesale* (the
+  numpy scans run, results unchanged) when numba is absent or too old,
+  the geometry has no batch kernel (``associativity != 1``), the scheme
+  has no registered loop, or compilation fails at first call; the
+  reason lands in ``SimResult.jit`` (``"fallback:<reason>"``) and the
+  run-report ``jit_fallbacks`` telemetry.  Epochs the engine cannot
+  batch at all (locks/critical sections, sync) take the exact per-event
+  path exactly as without the tier.
+* ``interp`` — run the identical loop functions *uncompiled*: slow, but
+  it exercises every jit-tier code path with no numba installed, which
+  is how the differential tests pin the tier's parity everywhere.
+* ``off`` — the tier is never attached (the default).
+
+Job fingerprints never see the knob (:func:`repro.runtime.jobs
+.split_machine` drops ``jit`` alongside ``engine``), so cache artifacts
+are shared across tiers.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.coherence.batch import (BaseBatchKernel, DirectoryBatchKernel,
+                                   ScBatchKernel, SnoopBatchKernel,
+                                   TardisBatchKernel, TpiBatchKernel,
+                                   UpdateBatchKernel)
+from repro.coherence.sparse import STATE_E
+from repro.coherence.tpi_rules import time_read_window, word_age
+from repro.common.errors import ConfigError
+
+JIT_MODES = ("on", "off", "interp")
+"""Concrete tier modes (``MachineConfig.jit`` adds ``"auto"`` on top)."""
+
+NUMBA_MIN_VERSION = (0, 57)
+"""Oldest numba the compiled mode accepts (matches the ``[jit]`` extra
+pin in pyproject.toml)."""
+
+_ENV_ON = frozenset(("1", "on", "true", "yes"))
+_ENV_OFF = frozenset(("0", "off", "false", "no"))
+
+
+def parse_jit_env() -> str:
+    """``$REPRO_JIT`` as a mode string (``""`` when unset/empty).
+
+    Raises :class:`~repro.common.errors.ConfigError` — a one-line exit-2
+    on the CLI — for garbage values, so a typo never silently runs the
+    uncompiled tier.
+    """
+    raw = os.environ.get("REPRO_JIT", "").strip().lower()
+    if not raw:
+        return ""
+    if raw in _ENV_ON:
+        return "on"
+    if raw in _ENV_OFF:
+        return "off"
+    if raw == "interp":
+        return "interp"
+    raise ConfigError(f"REPRO_JIT must be one of "
+                      f"0, 1, on, off, interp; got {raw!r}")
+
+
+def resolve_jit(machine) -> str:
+    """Resolve a machine's ``jit`` field to ``on``/``off``/``interp``."""
+    choice = machine.jit
+    if choice == "auto":
+        choice = parse_jit_env() or "off"
+    return choice
+
+
+_numba_state: Optional[Tuple[Optional[object], str]] = None
+
+
+def numba_available() -> Tuple[Optional[object], str]:
+    """``(numba module, "")`` or ``(None, reason)``, probed once."""
+    global _numba_state
+    if _numba_state is None:
+        try:
+            import numba
+        except ImportError:
+            _numba_state = (None, "numba-missing")
+        else:
+            try:
+                parts = tuple(int(p) for p in
+                              numba.__version__.split(".")[:2])
+            except ValueError:  # pragma: no cover - exotic version string
+                parts = NUMBA_MIN_VERSION
+            if parts < NUMBA_MIN_VERSION:
+                _numba_state = (None, "numba-too-old")
+            else:
+                _numba_state = (numba, "")
+    return _numba_state
+
+
+_warned: set = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key not in _warned:
+        _warned.add(key)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+# ---------------------------------------------------------------------------
+# Attach: bind a jit scan onto a fast engine's kernel instance
+
+
+def attach(engine) -> str:
+    """Bind the compiled (or interp) scan tier onto ``engine._kernel``.
+
+    Called from ``FastEngine.__init__``; returns the provenance string
+    recorded on :attr:`SimResult.jit`: ``""`` (tier off), ``"numba"``,
+    ``"interp"``, or ``"fallback:<reason>"``.  A fallback leaves the
+    engine untouched — the numpy scans run and results are identical.
+    """
+    mode = resolve_jit(engine.machine)
+    if mode == "off":
+        return ""
+    if mode == "on":
+        module, reason = numba_available()
+        if module is None:
+            _warn_once(reason,
+                       f"REPRO_JIT requested the compiled tier but "
+                       f"{reason.replace('-', ' ')}; falling back to the "
+                       f"numpy scans (results are identical; install the "
+                       f"[jit] extra to compile)")
+            return "fallback:" + reason
+    kernel = engine._kernel
+    if kernel is None:
+        # No batch kernel for this geometry (associativity != 1) or the
+        # scheme builds none; nothing to compile.
+        return "fallback:no-kernel"
+    entry = None
+    for klass in type(kernel).__mro__:
+        entry = _REGISTRY.get(klass)
+        if entry is not None:
+            break
+    if entry is None:  # pragma: no cover - every shipped kernel registers
+        return "fallback:unsupported-scheme"
+    wrapper, loop_name = entry
+    kernel._scan = JitScan(kernel, mode, engine, wrapper, loop_name)
+    return "numba" if mode == "on" else "interp"
+
+
+class JitScan:
+    """A kernel instance's bound scan: jit loop first, numpy on failure.
+
+    Instance-attribute assignment (``kernel._scan = JitScan(...)``)
+    shadows the class method, so ``span``/``preapply`` pick the tier up
+    with zero changes to :mod:`repro.coherence.batch`.  The scans are
+    pure, so a numba failure mid-call loses nothing: the original numpy
+    scan re-answers the same window and the tier stays off for the rest
+    of the run, with the reason recorded on the engine's provenance.
+    """
+
+    __slots__ = ("kernel", "mode", "engine", "wrapper", "loop_name",
+                 "calls", "dead")
+
+    def __init__(self, kernel, mode, engine, wrapper, loop_name):
+        self.kernel = kernel
+        self.mode = mode
+        self.engine = engine
+        self.wrapper = wrapper
+        self.loop_name = loop_name
+        self.calls = 0
+        self.dead = False
+
+    def __call__(self, cols):
+        if not self.dead:
+            if self.mode == "interp":
+                self.calls += 1
+                return self.wrapper(self.kernel, cols,
+                                    _LOOPS[self.loop_name])
+            try:
+                loop = _compiled_loop(self.loop_name)
+                result = self.wrapper(self.kernel, cols, loop)
+            except _numba_errors() as exc:
+                self.dead = True
+                _warn_once("compile:" + self.loop_name,
+                           f"repro.sim.jit: compiling {self.loop_name} "
+                           f"failed ({exc}); falling back to the numpy "
+                           f"scans (results are identical)")
+                if self.engine is not None:
+                    self.engine.jit_state = "fallback:compile-error"
+            else:
+                self.calls += 1
+                return result
+        return type(self.kernel)._scan(self.kernel, cols)
+
+
+_compiled: dict = {}
+
+
+def _compiled_loop(name: str):
+    fn = _compiled.get(name)
+    if fn is None:
+        module, _reason = numba_available()
+        fn = _compiled[name] = module.njit(cache=True)(_LOOPS[name])
+    return fn
+
+
+def _numba_errors() -> tuple:
+    module, _reason = numba_available()
+    if module is None:  # pragma: no cover - guarded by attach
+        return ()
+    from numba.core.errors import NumbaError
+
+    return (NumbaError,)
+
+
+# ---------------------------------------------------------------------------
+# Window plumbing shared by the scan wrappers
+
+
+def _dense_keys(cols):
+    """Window-local dense ids for the set/address chain groups.
+
+    ``skey``/``akey`` offset per processor in merged windows, so their
+    values can be huge; one ``np.unique(return_inverse=True)`` per key
+    maps them onto ``[0, n_groups)`` so the loops' scratch arrays stay
+    window-sized.  The mapping depends only on static columns — like the
+    argsort chains it replaces, it is memoized on the window and reused
+    across schemes and repeated simulations of cached merged windows.
+    """
+    cached = cols.cache.get("jitkeys")
+    if cached is None:
+        sidx = np.unique(cols.skey, return_inverse=True)[1]
+        aidx = np.unique(cols.akey, return_inverse=True)[1]
+        sidx = np.ascontiguousarray(sidx.reshape(-1), dtype=np.int64)
+        aidx = np.ascontiguousarray(aidx.reshape(-1), dtype=np.int64)
+        cached = cols.cache["jitkeys"] = (
+            sidx, int(sidx.max()) + 1 if sidx.size else 0,
+            aidx, int(aidx.max()) + 1 if aidx.size else 0)
+    return cached
+
+
+def _b(arr) -> np.ndarray:
+    """Contiguous bool column (uniform dtype keeps one numba signature)."""
+    return np.ascontiguousarray(arr, dtype=np.bool_)
+
+
+def _i(arr) -> np.ndarray:
+    """Contiguous int64 column."""
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# The loops.  Each mirrors one kernel's numpy ``_scan`` definition-for-
+# definition: "prior X in my set/address group" becomes a scratch flag
+# read before the event updates it, and the group-wide poisoning
+# (conflict / staleness-oracle) becomes a second pass over the per-group
+# flags.  Plain Python + numpy scalars only — numba-compilable as-is.
+
+
+def _base_loop(sidx, n_us, aidx, n_ua, line, wr, sh, tags0, touched0):
+    n = line.shape[0]
+    set_last = np.full(n_us, -1, np.int64)
+    set_has = np.zeros(n_us, np.bool_)
+    set_conflict = np.zeros(n_us, np.bool_)
+    a_touch = np.zeros(n_ua, np.bool_)
+    miss = np.zeros(n, np.bool_)
+    repl = np.zeros(n, np.bool_)
+    touch = np.zeros(n, np.bool_)
+    ok = np.ones(n, np.bool_)
+    for i in range(n):
+        sk = sidx[i]
+        ak = aidx[i]
+        ln = line[i]
+        priv = not sh[i]
+        # Allocation chain masked to private accesses (only they cache).
+        if set_has[sk]:
+            res = set_last[sk] == ln
+            if priv and set_last[sk] != ln:
+                set_conflict[sk] = True
+        else:
+            res = tags0[i] == ln
+        m = priv and not res
+        t = priv and (wr[i] or m)
+        miss[i] = m
+        touch[i] = t
+        repl[i] = touched0[i] or a_touch[ak]
+        if t:
+            a_touch[ak] = True
+        if priv:
+            set_last[sk] = ln
+            set_has[sk] = True
+    for i in range(n):
+        if (not sh[i]) and set_conflict[sidx[i]]:
+            ok[i] = False
+    return ok, miss, repl, touch
+
+
+def _sc_loop(sidx, n_us, aidx, n_ua, line, wr, sh, bypass, tags0,
+             cur_eq, stale_lt, touched0, check):
+    n = line.shape[0]
+    set_last = np.full(n_us, -1, np.int64)
+    set_has = np.zeros(n_us, np.bool_)
+    set_miss = np.zeros(n_us, np.bool_)
+    set_conflict = np.zeros(n_us, np.bool_)
+    set_stale = np.zeros(n_us, np.bool_)
+    a_wr = np.zeros(n_ua, np.bool_)
+    a_touch = np.zeros(n_ua, np.bool_)
+    miss = np.zeros(n, np.bool_)
+    have = np.zeros(n, np.bool_)
+    current = np.zeros(n, np.bool_)
+    touched = np.zeros(n, np.bool_)
+    ok = np.ones(n, np.bool_)
+    for i in range(n):
+        sk = sidx[i]
+        ak = aidx[i]
+        ln = line[i]
+        w = wr[i]
+        cached = not bypass[i]
+        if set_has[sk]:
+            res = set_last[sk] == ln
+            if cached and set_last[sk] != ln:
+                set_conflict[sk] = True
+        else:
+            res = tags0[i] == ln
+        m = cached and not res
+        fresh = set_miss[sk]
+        wb = a_wr[ak]
+        have[i] = res
+        miss[i] = m
+        current[i] = wb or fresh or cur_eq[i]
+        touched[i] = touched0[i] or a_touch[ak]
+        if (check and cached and not w and res and not wb and not fresh
+                and stale_lt[i]):
+            set_stale[sk] = True
+        if m:
+            set_miss[sk] = True
+        if cached:
+            set_last[sk] = ln
+            set_has[sk] = True
+        if w:
+            a_wr[ak] = True
+        if bypass[i] or w or (m and not w):
+            a_touch[ak] = True
+    for i in range(n):
+        sk = sidx[i]
+        if set_conflict[sk] or set_stale[sk]:
+            ok[i] = False
+    return ok, miss, have, current, touched
+
+
+def _tpi_loop(sidx, n_us, aidx, n_ua, line, wr, tags0, wv0, age0, tr,
+              strict, window, no_region, cur_eq, stale_lt, touched0,
+              per_word, check):
+    n = line.shape[0]
+    set_last = np.full(n_us, -1, np.int64)
+    set_has = np.zeros(n_us, np.bool_)
+    set_cand = np.zeros(n_us, np.bool_)
+    set_conflict = np.zeros(n_us, np.bool_)
+    set_stale = np.zeros(n_us, np.bool_)
+    a_wr = np.zeros(n_ua, np.bool_)
+    a_stamp = np.zeros(n_ua, np.bool_)
+    a_rmiss = np.zeros(n_ua, np.bool_)
+    a_seen = np.zeros(n_ua, np.bool_)
+    hit = np.zeros(n, np.bool_)
+    rmiss = np.zeros(n, np.bool_)
+    wmiss = np.zeros(n, np.bool_)
+    resident = np.zeros(n, np.bool_)
+    valid = np.zeros(n, np.bool_)
+    current = np.zeros(n, np.bool_)
+    touched = np.zeros(n, np.bool_)
+    fill = np.zeros(n, np.bool_)
+    ok = np.ones(n, np.bool_)
+    for i in range(n):
+        sk = sidx[i]
+        ak = aidx[i]
+        ln = line[i]
+        w = wr[i]
+        is_tr = tr[i]
+        st = strict[i]
+        win = window[i]
+        noreg = no_region[i]
+        a0 = age0[i]
+        # Unmasked allocation chain: every access installs/holds.
+        if set_has[sk]:
+            res = set_last[sk] == ln
+            if set_last[sk] != ln:
+                set_conflict[sk] = True
+        else:
+            res = tags0[i] == ln
+        wb = a_wr[ak]
+        fresh = set_cand[sk]
+        fl = tags0[i] != ln
+        vld = wb or fresh or wv0[i]
+        if per_word:
+            age_p = 0 if wb else a0
+            hp = (res and (wb or wv0[i])
+                  and ((not is_tr) or (age_p == 0 if st
+                                       else (age_p <= win) or noreg)))
+            age_f = 1 if (fl or not wv0[i]) else (a0 if a0 < 1 else 1)
+            age_ns = 0 if wb else (age_f if fresh else a0)
+            hns = (res and vld
+                   and ((not is_tr) or (age_ns == 0 if st
+                                        else (age_ns <= win) or noreg)))
+            age2 = 0 if a_stamp[ak] else age_ns
+            h = (res and vld
+                 and ((not is_tr) or (age2 == 0 if st
+                                      else (age2 <= win) or noreg)))
+            refreshed = fresh and (fl or (not wv0[i]) or a0 > 1)
+        else:
+            # Per-line tags: strict Time-Reads never hit, no stamping.
+            hp = (res and (wb or wv0[i])
+                  and ((not is_tr) or (False if st
+                                       else (a0 <= win) or noreg)))
+            hns = hp
+            age_ns = 1 if fresh else a0
+            h = (res and vld
+                 and ((not is_tr) or (False if st
+                                      else (age_ns <= win) or noreg)))
+            refreshed = fresh
+        rm = (not w) and not h
+        rm_before = a_rmiss[ak]
+        resident[i] = res
+        valid[i] = vld
+        fill[i] = fl
+        hit[i] = h
+        rmiss[i] = rm
+        wmiss[i] = w and not res
+        current[i] = wb or rm_before or refreshed or cur_eq[i]
+        touched[i] = touched0[i] or a_seen[ak]
+        if check and h and stale_lt[i]:
+            if not (wb or rm_before or refreshed):
+                set_stale[sk] = True
+        # Scratch updates (events after i see these as "prior").
+        cand = (not res) if w else (not hp)
+        if cand:
+            set_cand[sk] = True
+        set_last[sk] = ln
+        set_has[sk] = True
+        if w:
+            a_wr[ak] = True
+        if per_word and (not w) and (not hns) and (not st):
+            a_stamp[ak] = True
+        if rm:
+            a_rmiss[ak] = True
+        a_seen[ak] = True
+    for i in range(n):
+        sk = sidx[i]
+        if set_conflict[sk] or set_stale[sk]:
+            ok[i] = False
+    return (ok, hit, rmiss, wmiss, resident, valid, current, touched, fill)
+
+
+def _directory_loop(sidx, n_us, aidx, n_ua, line, wr, sh, tags0, e0,
+                    ver_ne, check):
+    n = line.shape[0]
+    set_last = np.full(n_us, -1, np.int64)
+    set_has = np.zeros(n_us, np.bool_)
+    set_wrsh = np.zeros(n_us, np.bool_)
+    set_miss = np.zeros(n_us, np.bool_)
+    set_conflict = np.zeros(n_us, np.bool_)
+    set_stale = np.zeros(n_us, np.bool_)
+    a_wr = np.zeros(n_ua, np.bool_)
+    miss = np.zeros(n, np.bool_)
+    upgrade = np.zeros(n, np.bool_)
+    ok = np.ones(n, np.bool_)
+    for i in range(n):
+        sk = sidx[i]
+        ak = aidx[i]
+        ln = line[i]
+        w = wr[i]
+        if set_has[sk]:
+            res = set_last[sk] == ln
+            if set_last[sk] != ln:
+                set_conflict[sk] = True
+        else:
+            res = tags0[i] == ln
+        m = not res
+        e_self = e0[i] or set_wrsh[sk]
+        miss[i] = m
+        upgrade[i] = w and sh[i] and res and not e_self
+        if check and not w and sh[i] and res and ver_ne[i]:
+            if not (a_wr[ak] or set_miss[sk]):
+                set_stale[sk] = True
+        if w and sh[i]:
+            set_wrsh[sk] = True
+        if m:
+            set_miss[sk] = True
+        if w:
+            a_wr[ak] = True
+        set_last[sk] = ln
+        set_has[sk] = True
+    for i in range(n):
+        sk = sidx[i]
+        if set_conflict[sk] or set_stale[sk]:
+            ok[i] = False
+    return ok, miss, upgrade
+
+
+def _snoop_loop(sidx, n_us, aidx, n_ua, line, wr, sh, tags0, dirty0,
+                ver_ne, check):
+    n = line.shape[0]
+    set_last = np.full(n_us, -1, np.int64)
+    set_has = np.zeros(n_us, np.bool_)
+    set_wr = np.zeros(n_us, np.bool_)
+    set_miss = np.zeros(n_us, np.bool_)
+    set_conflict = np.zeros(n_us, np.bool_)
+    set_stale = np.zeros(n_us, np.bool_)
+    a_wr = np.zeros(n_ua, np.bool_)
+    miss = np.zeros(n, np.bool_)
+    upgrade = np.zeros(n, np.bool_)
+    ok = np.ones(n, np.bool_)
+    for i in range(n):
+        sk = sidx[i]
+        ak = aidx[i]
+        ln = line[i]
+        w = wr[i]
+        if set_has[sk]:
+            res = set_last[sk] == ln
+            if set_last[sk] != ln:
+                set_conflict[sk] = True
+        else:
+            res = tags0[i] == ln
+        m = not res
+        m_now = (tags0[i] == ln and dirty0[i]) or set_wr[sk]
+        miss[i] = m
+        upgrade[i] = w and sh[i] and res and not m_now
+        if check and not w and sh[i] and res and ver_ne[i]:
+            if not (a_wr[ak] or set_miss[sk]):
+                set_stale[sk] = True
+        if w:
+            set_wr[sk] = True
+            a_wr[ak] = True
+        if m:
+            set_miss[sk] = True
+        set_last[sk] = ln
+        set_has[sk] = True
+    for i in range(n):
+        sk = sidx[i]
+        if set_conflict[sk] or set_stale[sk]:
+            ok[i] = False
+    return ok, miss, upgrade
+
+
+def _update_loop(sidx, n_us, aidx, n_ua, line, wr, sh, tags0, ver_ge,
+                 check):
+    n = line.shape[0]
+    set_last = np.full(n_us, -1, np.int64)
+    set_has = np.zeros(n_us, np.bool_)
+    set_nres = np.zeros(n_us, np.bool_)
+    a_wr = np.zeros(n_ua, np.bool_)
+    batch = np.zeros(n, np.bool_)
+    for i in range(n):
+        sk = sidx[i]
+        ak = aidx[i]
+        ln = line[i]
+        if set_has[sk]:
+            res = set_last[sk] == ln
+        else:
+            res = tags0[i] == ln
+        if check:
+            fresh = a_wr[ak] or set_nres[sk] or ver_ge[i]
+            batch[i] = res and (wr[i] or (not sh[i]) or fresh)
+        else:
+            batch[i] = res
+        if not res:
+            set_nres[sk] = True
+        if wr[i]:
+            a_wr[ak] = True
+        set_last[sk] = ln
+        set_has[sk] = True
+    return batch
+
+
+def _tardis_loop(sidx, n_us, line, wr, sh, tags0, rd_ok):
+    n = line.shape[0]
+    set_last = np.full(n_us, -1, np.int64)
+    set_has = np.zeros(n_us, np.bool_)
+    set_ncand = np.zeros(n_us, np.bool_)
+    batch = np.zeros(n, np.bool_)
+    for i in range(n):
+        sk = sidx[i]
+        ln = line[i]
+        if set_has[sk]:
+            res = set_last[sk] == ln
+        else:
+            res = tags0[i] == ln
+        if wr[i]:
+            cand = (not sh[i]) and res
+        else:
+            cand = res and ((not sh[i]) or rd_ok[i])
+        batch[i] = cand and not set_ncand[sk]
+        if not cand:
+            set_ncand[sk] = True
+        set_last[sk] = ln
+        set_has[sk] = True
+    return batch
+
+
+_LOOPS = {
+    "base": _base_loop, "sc": _sc_loop, "tpi": _tpi_loop,
+    "directory": _directory_loop, "snoop": _snoop_loop,
+    "update": _update_loop, "tardis": _tardis_loop,
+}
+
+
+# ---------------------------------------------------------------------------
+# Scan wrappers: the numpy side (state gathers, site tables, ctx
+# assembly) of each kernel's scan, feeding the loop above.  Gathers stay
+# numpy — they are single C-speed fancy-index passes; what the loop
+# replaces is the argsort chains and the multi-pass formula cascade.
+
+
+def _base_scan(kernel, cols, loop):
+    sidx, n_us, aidx, n_ua = _dense_keys(cols)
+    tags0 = kernel._gset(kernel.tags, cols)
+    touched0 = _b(kernel.scheme.touched[cols.procv, cols.addr])
+    ok, miss, repl, touch = loop(
+        sidx, n_us, aidx, n_ua, _i(cols.line), _b(cols.wr), _b(cols.sh),
+        _i(tags0), touched0)
+    return ok, {"miss": miss, "repl": repl, "touch": touch}
+
+
+def _sc_scan(kernel, cols, loop):
+    sidx, n_us, aidx, n_ua = _dense_keys(cols)
+    wr, sh, addr, site = cols.wr, cols.sh, cols.addr, cols.site
+    bypass = ~wr & sh & kernel._site_table(int(site.max()))[site]
+    tags0 = kernel._gset(kernel.tags, cols)
+    cver0 = kernel._gword(kernel.cver, cols)
+    cur_eq = cver0 == kernel.shadow.version[addr]
+    if kernel.check:
+        stale_lt = cver0 < kernel.shadow.epoch_version[addr]
+    else:
+        stale_lt = np.zeros(cols.n, dtype=bool)
+    touched0 = _b(kernel.scheme.touched[cols.procv, addr])
+    ok, miss, have, current, touched = loop(
+        sidx, n_us, aidx, n_ua, _i(cols.line), _b(wr), _b(sh), _b(bypass),
+        _i(tags0), _b(cur_eq), _b(stale_lt), touched0, bool(kernel.check))
+    return ok, {"bypass": bypass, "miss": miss, "have": have,
+                "current": current, "touched": touched}
+
+
+def _tpi_scan(kernel, cols, loop):
+    scheme = kernel.scheme
+    R = scheme.epoch_index
+    mod = scheme.modulus
+    per_word = scheme.per_word_tags
+    wr, sh, addr, site = cols.wr, cols.sh, cols.addr, cols.site
+    sidx, n_us, aidx, n_ua = _dense_keys(cols)
+    tags0 = kernel._gset(kernel.tags, cols)
+    wv0 = kernel._gword(kernel.wv, cols)
+    tr_table, strict_table = kernel._site_tables(int(site.max()))
+    tr = ~wr & sh & tr_table[site]
+    strict = tr & strict_table[site]
+    region = scheme.region_of[addr]
+    window = time_read_window(R, scheme.w_regs[np.maximum(region, 0)], mod)
+    no_region = region < 0
+    if per_word:
+        age0 = word_age(R, kernel._gword(kernel.tt, cols), mod)
+    else:
+        age0 = word_age(R, kernel._gword0(kernel.tt, cols), mod)
+    cver0 = kernel._gword(kernel.cver, cols)
+    cur_eq = cver0 == kernel.shadow.version[addr]
+    if kernel.check:
+        stale_lt = cver0 < kernel.shadow.epoch_version[addr]
+    else:
+        stale_lt = np.zeros(cols.n, dtype=bool)
+    touched0 = _b(scheme.touched[cols.procv, addr])
+    (ok, hit, rmiss, wmiss, resident, valid, current, touched,
+     fill) = loop(
+        sidx, n_us, aidx, n_ua, _i(cols.line), _b(wr), _i(tags0), _b(wv0),
+        _i(age0), _b(tr), _b(strict), _i(np.broadcast_to(window, (cols.n,))),
+        _b(no_region), _b(cur_eq), _b(stale_lt), touched0,
+        bool(per_word), bool(kernel.check))
+    return ok, {"tr": tr, "strict": strict, "hit": hit, "rmiss": rmiss,
+                "wmiss": wmiss, "resident": resident, "valid": valid,
+                "current": current, "touched": touched, "fill": fill}
+
+
+def _directory_scan(kernel, cols, loop):
+    sidx, n_us, aidx, n_ua = _dense_keys(cols)
+    line, wr, sh, addr = cols.line, cols.wr, cols.sh, cols.addr
+    store = kernel.scheme.dirstore
+    tags0 = kernel._gset(kernel.tags, cols)
+    e0 = ((store.state_code[line] == STATE_E)
+          & (store.owner_p1[line] == cols.procv + 1))
+    if kernel.check:
+        ver_ne = (kernel._gword(kernel.cver, cols)
+                  != kernel.shadow.version[addr])
+    else:
+        ver_ne = np.zeros(cols.n, dtype=bool)
+    ok, miss, upgrade = loop(
+        sidx, n_us, aidx, n_ua, _i(line), _b(wr), _b(sh), _i(tags0),
+        _b(e0), _b(ver_ne), bool(kernel.check))
+    return ok, {"miss": miss, "upgrade": upgrade,
+                "occ0": tags0, "dirty0": kernel._gset(kernel.dirty, cols)}
+
+
+def _snoop_scan(kernel, cols, loop):
+    sidx, n_us, aidx, n_ua = _dense_keys(cols)
+    line, wr, sh, addr = cols.line, cols.wr, cols.sh, cols.addr
+    tags0 = kernel._gset(kernel.tags, cols)
+    dirty0 = kernel._gset(kernel.dirty, cols)
+    if kernel.check:
+        ver_ne = (kernel._gword(kernel.cver, cols)
+                  != kernel.shadow.version[addr])
+    else:
+        ver_ne = np.zeros(cols.n, dtype=bool)
+    ok, miss, upgrade = loop(
+        sidx, n_us, aidx, n_ua, _i(line), _b(wr), _b(sh), _i(tags0),
+        _b(dirty0), _b(ver_ne), bool(kernel.check))
+    return ok, {"miss": miss, "upgrade": upgrade,
+                "occ0": tags0, "dirty0": dirty0}
+
+
+def _update_scan(kernel, cols, loop):
+    sidx, n_us, aidx, n_ua = _dense_keys(cols)
+    tags0 = kernel._gset(kernel.tags, cols)
+    if kernel.check:
+        ver_ge = (kernel._gword(kernel.cver, cols)
+                  >= kernel.shadow.epoch_version[cols.addr])
+    else:
+        ver_ge = np.zeros(cols.n, dtype=bool)
+    batch = loop(sidx, n_us, aidx, n_ua, _i(cols.line), _b(cols.wr),
+                 _b(cols.sh), _i(tags0), _b(ver_ge), bool(kernel.check))
+    return np.ones(cols.n, dtype=bool), {"batch": batch}
+
+
+def _tardis_scan(kernel, cols, loop):
+    sidx, n_us, _aidx, _n_ua = _dense_keys(cols)
+    wr, sh, addr = cols.wr, cols.sh, cols.addr
+    tags0 = kernel._gset(kernel.tags, cols)
+    ptsv = np.empty(cols.n, dtype=np.int64)
+    prior_sw = np.zeros(cols.n, dtype=bool)
+    swr = wr & sh
+    for p, lo, hi in cols.parts:
+        ptsv[lo:hi] = kernel.scheme.pts[p]
+        w = swr[lo:hi]
+        prior_sw[lo:hi] = (np.cumsum(w) - w) > 0
+    lease0 = kernel._gset(kernel.rts, cols) >= ptsv
+    if kernel.check:
+        lease0 = lease0 & (kernel._gword(kernel.cver, cols)
+                           >= kernel.shadow.epoch_version[addr])
+    rd_ok = lease0 & ~prior_sw
+    batch = loop(sidx, n_us, _i(cols.line), _b(wr), _b(sh), _i(tags0),
+                 _b(rd_ok))
+    return np.ones(cols.n, dtype=bool), {"batch": batch}
+
+
+#: Kernel class -> (scan wrapper, loop name).  Subclasses resolve
+#: through the MRO in :func:`attach`, so e.g. the LimitLess directory
+#: variant (same DirectoryBatchKernel scan) is covered automatically.
+_REGISTRY = {
+    BaseBatchKernel: (_base_scan, "base"),
+    ScBatchKernel: (_sc_scan, "sc"),
+    TpiBatchKernel: (_tpi_scan, "tpi"),
+    DirectoryBatchKernel: (_directory_scan, "directory"),
+    SnoopBatchKernel: (_snoop_scan, "snoop"),
+    UpdateBatchKernel: (_update_scan, "update"),
+    TardisBatchKernel: (_tardis_scan, "tardis"),
+}
+
+
+__all__ = ["JIT_MODES", "JitScan", "NUMBA_MIN_VERSION", "attach",
+           "numba_available", "parse_jit_env", "resolve_jit"]

@@ -124,3 +124,42 @@ class TestBarCharts:
         out = capsys.readouterr().out
         assert "== fig5_storage: cache SRAM (MB)" in out
         assert "#" in out
+
+
+class TestFig5Plot:
+    def test_plot_writes_svg(self, tmp_path):
+        from repro.experiments import fig5_storage
+        from repro.overhead.storage import CURVE_SCHEMES
+
+        path = fig5_storage.plot(str(tmp_path / "curve.svg"))
+        text = open(path).read()
+        assert text.startswith("<svg") or "<svg" in text.splitlines()[0] \
+            or "<svg" in text  # matplotlib prepends an XML prolog
+        for scheme in CURVE_SCHEMES:
+            assert scheme in text
+
+    def test_builtin_emitter_is_valid_xml(self, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        from repro.experiments.fig5_storage import _svg_chart
+        from repro.overhead.storage import figure5_curve
+
+        root = ET.fromstring(_svg_chart(figure5_curve()))
+        assert root.tag.endswith("svg")
+        tags = {child.tag.split("}")[-1] for child in root.iter()}
+        assert "polyline" in tags and "text" in tags
+
+    def test_cli_plot_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        target = tmp_path / "fig5.svg"
+        assert main(["experiment", "fig5_storage", "--no-cache",
+                     "--plot", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert target.exists()
+
+    def test_cli_plot_rejects_other_experiments(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "fig8_params", "--plot", "x.svg"]) == 2
+        assert "fig5_storage" in capsys.readouterr().err

@@ -1,0 +1,236 @@
+"""The compiled (numba) kernel tier: selection, fallback, provenance.
+
+Byte-parity of the tier's *results* lives in test_engine_parity.py (the
+jit legs of the grid and hypothesis sweeps); this file covers the knob
+itself — the ``REPRO_JIT`` grammar, the ``--jit``/serve surfaces, the
+clean wholesale fallback when numba is absent or the geometry is
+unsupported, and the provenance/telemetry trail those fallbacks leave.
+Everything here runs with or without numba installed: the ``interp``
+mode drives the identical loop functions uncompiled.
+"""
+
+import warnings
+
+import pytest
+
+from repro.cli import main
+from repro.common.config import default_machine
+from repro.common.errors import ConfigError
+from repro.runtime import JobRecord, Telemetry
+from repro.runtime.jobs import Job
+from repro.serve.service import ServeError, SimulationService
+from repro.sim import jit, prepare
+from repro.sim.engine import make_engine
+from repro.sim.jit import (JIT_MODES, JitScan, numba_available,
+                           parse_jit_env, resolve_jit)
+from repro.workloads import build_workload
+
+HAVE_NUMBA = numba_available()[0] is not None
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JIT", raising=False)
+
+
+def small_run(jit_mode, **machine_kw):
+    machine = default_machine().with_(jit=jit_mode, **machine_kw)
+    return prepare(build_workload("flo52", size="small"), machine)
+
+
+def run_engine(jit_mode, scheme="tpi", **machine_kw):
+    run = small_run(jit_mode, **machine_kw)
+    engine = make_engine(run.trace, run.marking, run.machine, scheme)
+    return engine, engine.run()
+
+
+class TestEnvGrammar:
+    @pytest.mark.parametrize("raw,mode", [
+        ("1", "on"), ("on", "on"), ("true", "on"), ("YES", "on"),
+        ("0", "off"), ("off", "off"), ("false", "off"), ("No", "off"),
+        ("interp", "interp"), ("", "")])
+    def test_accepted(self, monkeypatch, raw, mode):
+        monkeypatch.setenv("REPRO_JIT", raw)
+        assert parse_jit_env() == mode
+
+    def test_unset_is_empty(self):
+        assert parse_jit_env() == ""
+
+    @pytest.mark.parametrize("raw", ["banana", "2", "jit", "ON=1"])
+    def test_garbage_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JIT", raw)
+        with pytest.raises(ConfigError, match="REPRO_JIT"):
+            parse_jit_env()
+
+    def test_machine_field_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "interp")
+        assert resolve_jit(default_machine().with_(jit="off")) == "off"
+
+    def test_auto_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "interp")
+        assert resolve_jit(default_machine()) == "interp"
+        monkeypatch.delenv("REPRO_JIT")
+        assert resolve_jit(default_machine()) == "off"
+
+    def test_machine_validates_tier(self):
+        with pytest.raises(ConfigError, match="jit tier"):
+            default_machine().with_(jit="banana")
+
+
+class TestProvenance:
+    def test_off_leaves_blank(self):
+        engine, result = run_engine("off")
+        assert result.jit == ""
+        assert not isinstance(engine._kernel._scan, JitScan)
+
+    def test_interp_attaches_and_engages(self):
+        engine, result = run_engine("interp")
+        assert result.jit == "interp"
+        assert isinstance(engine._kernel._scan, JitScan)
+        assert engine._kernel._scan.calls > 0
+
+    def test_no_kernel_fallback(self):
+        from repro.common.config import CacheConfig
+
+        engine, result = run_engine(
+            "interp", cache=CacheConfig(associativity=2))
+        assert result.jit == "fallback:no-kernel"
+        assert engine._kernel is None
+
+    def test_jit_absent_from_to_dict(self):
+        _engine, result = run_engine("interp")
+        assert "jit" not in result.to_dict()
+
+    def test_reference_engine_ignores_tier(self):
+        run = small_run("interp")
+        engine = make_engine(run.trace, run.marking,
+                             run.machine.with_(engine="reference"), "tpi")
+        assert engine.run().jit == ""
+
+
+@pytest.mark.skipif(HAVE_NUMBA, reason="numba present; fallback unreachable")
+class TestMissingNumbaFallback:
+    def test_warns_once_and_falls_back(self):
+        jit._warned.discard("numba-missing")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _engine, first = run_engine("on")
+            _engine, second = run_engine("on")
+        assert first.jit == "fallback:numba-missing"
+        assert second.jit == "fallback:numba-missing"
+        relevant = [w for w in caught if "numba" in str(w.message)]
+        assert len(relevant) == 1
+        assert issubclass(relevant[0].category, RuntimeWarning)
+
+    def test_fallback_results_match_off(self):
+        import json
+
+        jit._warned.add("numba-missing")  # keep the log clean
+        _e, on = run_engine("on")
+        _e, off = run_engine("off")
+        assert json.dumps(on.to_dict(), sort_keys=True) == \
+            json.dumps(off.to_dict(), sort_keys=True)
+
+
+class TestCliSurface:
+    def test_garbage_env_is_usage_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JIT", "banana")
+        assert main(["simulate", "flo52", "--size", "small",
+                     "--scheme", "base"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "REPRO_JIT" in err
+
+    def test_unknown_jit_mode_is_usage_error(self, capsys):
+        assert main(["simulate", "flo52", "--size", "small",
+                     "--scheme", "base", "--jit", "banana"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "banana" in err
+
+    def test_jit_flag_exports_mode(self, monkeypatch, capsys):
+        import os
+
+        assert main(["simulate", "flo52", "--size", "small",
+                     "--scheme", "base", "--no-cache",
+                     "--jit", "interp"]) == 0
+        assert os.environ.get("REPRO_JIT") == "interp"
+
+    def test_modes_cover_cli_choices(self):
+        assert JIT_MODES == ("on", "off", "interp")
+
+
+class TestServeSurface:
+    def test_invalid_jit_is_400(self):
+        service = SimulationService()
+        with pytest.raises(ServeError) as err:
+            service.parse_simulate({"workload": "flo52", "jit": "banana"})
+        assert err.value.status == 400
+        assert "jit" in str(err.value)
+
+    @pytest.mark.parametrize("flag,mode", [
+        (True, "on"), (False, "off"), ("interp", "interp")])
+    def test_jit_flag_reaches_machine(self, flag, mode):
+        service = SimulationService()
+        parsed = service.parse_simulate(
+            {"workload": "flo52", "size": "small", "jit": flag})
+        assert all(job.machine.jit == mode for job in parsed.jobs)
+
+    def test_absent_flag_keeps_auto(self):
+        service = SimulationService()
+        parsed = service.parse_simulate({"workload": "flo52",
+                                         "size": "small"})
+        assert all(job.machine.jit == "auto" for job in parsed.jobs)
+
+
+class TestFingerprints:
+    def test_fingerprints_jit_agnostic(self):
+        program = build_workload("flo52", size="small")
+        prints = set()
+        for mode in ("auto", "on", "off", "interp"):
+            job = Job(program, "tpi", default_machine().with_(jit=mode))
+            prints.add((job.prepare_fingerprint(), job.fingerprint()))
+        assert len(prints) == 1
+
+
+class TestTelemetry:
+    def record(self, jit_value):
+        return JobRecord(label="flo52/tpi", scheme="tpi", fingerprint="f",
+                         jit=jit_value)
+
+    def test_fallbacks_counted_by_reason(self):
+        t = Telemetry()
+        for value in ("fallback:numba-missing", "fallback:numba-missing",
+                      "fallback:no-kernel", "numba", "interp", ""):
+            t.note_job(self.record(value))
+        assert t.jit_fallbacks == {"numba-missing": 2, "no-kernel": 1}
+        report = t.report().to_dict()
+        assert report["jit_fallbacks"] == {"no-kernel": 1,
+                                           "numba-missing": 2}
+        assert "numba-missing x2" in t.report().render()
+
+    def test_merge_worker_routes_through_note_job(self):
+        t = Telemetry()
+        t.merge_worker({"records": [
+            {"label": "a/tpi", "scheme": "tpi", "fingerprint": "f",
+             "jit": "fallback:no-kernel"}]})
+        assert t.jit_fallbacks == {"no-kernel": 1}
+
+    def test_clean_runs_omit_section(self):
+        t = Telemetry()
+        t.note_job(self.record("numba"))
+        assert "jit_fallbacks" not in t.report().to_dict()
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestCompiledTier:
+    def test_compiled_attaches_and_engages(self):
+        engine, result = run_engine("on")
+        assert result.jit == "numba"
+        assert engine._kernel._scan.calls > 0
+
+    def test_compiled_matches_interp(self):
+        import json
+
+        _e, on = run_engine("on")
+        _e, interp = run_engine("interp")
+        assert json.dumps(on.to_dict(), sort_keys=True) == \
+            json.dumps(interp.to_dict(), sort_keys=True)
